@@ -1,0 +1,62 @@
+"""Ablation — how little covert bandwidth the attack needs.
+
+The paper's hook is that 1–2 Mbps suffices.  The analysis says the
+floor is masks/idle_timeout refreshes per second (~0.42 Mbps at 64 B
+frames for 8192 masks).  This sweep runs the campaign at covert rates
+from well below to well above that floor and shows the cliff: below the
+floor the revalidator wins and the masks (mostly) evaporate; above it
+the DoS saturates and extra bandwidth adds nothing.
+"""
+
+from benchmarks.conftest import emit
+from repro.attack.analysis import required_refresh_bps
+from repro.attack.campaign import AttackCampaign
+from repro.attack.policy import calico_attack_policy
+from repro.cms.calico import CalicoCms
+from repro.net.addresses import ip_to_int
+from repro.perf.factory import switch_for_profile
+from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.util.ascii_chart import AsciiTable
+
+RATES_BPS = [0.1e6, 0.3e6, 0.5e6, 1e6, 2e6]
+
+
+def _run(rate_bps: float):
+    policy, dims = calico_attack_policy()
+    campaign = AttackCampaign(
+        cms=CalicoCms(),
+        policy=policy,
+        dimensions=dims,
+        attacker_pod_ip=ip_to_int("10.0.9.10"),
+        victim=VictimWorkload(offered_bps=1e9),
+        attacker=AttackerWorkload(rate_bps=rate_bps, frame_bytes=64, start_time=15.0),
+        duration=75.0,
+        switch=switch_for_profile("kernel"),
+    )
+    report = campaign.run()
+    sim = report.simulation
+    return sim.final_mask_count(), sim.degradation()
+
+
+def test_bench_covert_rate(benchmark):
+    floor = required_refresh_bps(8192, frame_bytes=64)
+
+    def sweep():
+        return {rate: _run(rate) for rate in RATES_BPS}
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["Covert rate", "Sustained masks", "Victim throughput"],
+        title=f"Ablation — covert bandwidth (refresh floor ≈ {floor / 1e6:.2f} Mbps)",
+    )
+    for rate, (masks, ratio) in outcomes.items():
+        table.add_row([f"{rate / 1e6:.1f} Mbps", masks, f"{ratio:.1%} of baseline"])
+    emit("Ablation — covert rate", table.render())
+
+    # below the refresh floor the revalidator reclaims most masks
+    assert outcomes[0.1e6][0] < 8192 / 2
+    # the paper's 1-2 Mbps sits comfortably above the floor: full DoS
+    assert outcomes[1e6][0] >= 8192
+    assert outcomes[1e6][1] < 0.05
+    assert outcomes[2e6][1] < 0.05

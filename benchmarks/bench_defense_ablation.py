@@ -1,0 +1,25 @@
+"""E7 — the mitigation ablation the demo's discussion promises.
+
+For each defense, run the 8192-mask Calico campaign and tabulate the
+victim's recovery and the defense's trade-off.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.defenses import render, run_defense_ablation
+
+
+def test_bench_defense_ablation(benchmark):
+    rows = benchmark.pedantic(
+        run_defense_ablation,
+        kwargs={"duration": 90.0, "attack_start": 20.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit("E7 — mitigation ablation", render(rows))
+
+    by_name = {r.defense.split(" (")[0]: r for r in rows}
+    assert by_name["none"].victim_ratio < 0.05
+    assert by_name["mask limit"].victim_ratio > 0.9
+    assert by_name["prefix rounding"].victim_ratio > 0.9
+    assert by_name["install rate limit"].victim_ratio < 0.5  # weak defense
+    assert by_name["anomaly detector"].masks_final <= 8

@@ -1,0 +1,18 @@
+"""E1 — regenerate Fig. 2b (the toy ACL's megaflow table), bit-exactly.
+
+Paper artefact: Fig. 2a/2b.  Workload: the 8-bit toy field, the 2-rule
+ACL, and the 9-packet adversarial sequence.  The benchmark times the
+slow-path classification of the full sequence and asserts the table
+matches the paper row for row.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig2 import FIG2B_EXPECTED, run_fig2
+
+
+def test_bench_fig2_megaflow_table(benchmark):
+    result = benchmark(run_fig2)
+    emit("E1 / Fig. 2b — megaflow table", result.render())
+    assert result.exact_match
+    assert set(result.rows) == set(FIG2B_EXPECTED)
+    assert result.deny_mask_count == 8

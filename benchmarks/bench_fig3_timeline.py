@@ -1,0 +1,28 @@
+"""E4 — regenerate Fig. 3: the full-blown DoS time series.
+
+Paper artefact: Fig. 3 ("OVS degradation in Kubernetes: Attacker feeds
+her ACL with low-bandwidth packets at 60th sec").  Parameters match the
+paper: 150 s run, attack at t = 60 s, ≤2 Mbps covert stream, victim
+offered ≈1 Gbps, Calico surface (8192 masks), kernel-datapath profile.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig3_timeline(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    emit("E4 / Fig. 3 — OVS degradation in Kubernetes", result.render())
+
+    sim = result.report.simulation
+    # the paper's qualitative contract
+    assert sim.pre_attack_mean_bps() > 0.9e9          # ~1 Gbps plateau
+    assert sim.final_mask_count() >= 8192             # ~10k megaflows
+    assert sim.post_attack_mean_bps() < 0.05 * sim.pre_attack_mean_bps()
+    # the cliff is immediate: within 10 s of the attack the mask space
+    # is saturated (2 Mbps ≈ 3.9 kpps ≫ 8192 packets)
+    series = sim.series
+    masks = dict(zip(series.column("t"), series.column("masks")))
+    assert masks[70.0] >= 8192
+    # and the covert stream really is "low-bandwidth"
+    assert result.report.prediction.refresh_bps < 2e6

@@ -1,0 +1,32 @@
+"""E5 — the abstract's headline: 80–90 % peak reduction, DoS in the
+extreme.
+
+Paper claim: "reduce its effective peak performance by 80-90%, and, in
+certain cases, denying network access altogether."  The benchmark runs
+the full campaign for every CMS surface and tabulates capacity and
+victim-throughput ratios.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.degradation import render, run_degradation_sweep
+
+
+def test_bench_headline_degradation(benchmark):
+    rows = benchmark.pedantic(
+        run_degradation_sweep,
+        kwargs={"duration": 90.0, "attack_start": 20.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit("E5 — headline degradation sweep", render(rows))
+
+    by_key = {(r.cms, r.surface): r for r in rows}
+    k8s = by_key[("kubernetes", "ip_src+tp_dst")]
+    assert 0.80 <= k8s.reduction_pct / 100.0 <= 0.92   # "80-90%"
+    openstack = by_key[("openstack", "ip_src+tp_dst")]
+    assert abs(openstack.capacity_ratio - k8s.capacity_ratio) < 1e-9
+    calico = by_key[("calico", "ip+dport+sport")]
+    assert calico.capacity_ratio < 0.02                 # "denying access"
+    assert calico.victim_ratio < 0.05
+    warmup = by_key[("kubernetes", "/8 warm-up")]
+    assert warmup.capacity_ratio > 0.85                 # warm-up is mild

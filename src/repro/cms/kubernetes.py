@@ -1,0 +1,189 @@
+"""Kubernetes NetworkPolicy: object model, validation and compilation.
+
+Faithful to the v1 API semantics the paper relies on:
+
+* ingress entries are **OR**-ed — traffic is allowed if *any* entry
+  admits it;
+* within one entry, ``from`` peers and ``ports`` are **AND**-ed — the
+  packet must match a peer (if any are given) *and* a port (if any are
+  given); an entry with only ``ports`` admits those ports from any
+  source, an entry with only ``from`` admits all ports from the peers.
+
+This OR-of-single-field-entries structure is exactly what makes the
+paper's "2 ACL rules" attack work: a policy with one ipBlock-only entry
+and one ports-only entry forces the slow path to witness a *denied*
+packet's mismatch **in both fields independently**, yielding the
+32 × 16 = 512 reachable megaflow masks.
+
+Kubernetes NetworkPolicy has **no source-port selector** — the API
+simply has no field for it — so 512 is the ceiling here; Calico's
+extended policy (see :mod:`repro.cms.calico`) lifts it to 8192.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cms.acl import Acl, AclEntry, acl_to_rules
+from repro.cms.base import (
+    PRIORITY_EXPLICIT_DENY,
+    PolicyTarget,
+    PolicyValidationError,
+)
+from repro.flow.actions import Drop
+from repro.flow.fields import FieldSpace, OVS_FIELDS
+from repro.flow.match import FlowMatch
+from repro.flow.rule import FlowRule
+from repro.net.addresses import parse_cidr, prefix_to_mask
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.util.bits import ones
+
+
+@dataclass(frozen=True)
+class IpBlock:
+    """``ipBlock``: a CIDR with optional carved-out exceptions."""
+
+    cidr: str
+    except_: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        parse_cidr(self.cidr)  # validates
+        for carved in self.except_:
+            carved_net, carved_len = parse_cidr(carved)
+            net, length = parse_cidr(self.cidr)
+            if carved_len < length or (carved_net & prefix_to_mask(length)) != net:
+                raise PolicyValidationError(
+                    f"except block {carved!r} is not inside {self.cidr!r}"
+                )
+
+
+@dataclass(frozen=True)
+class NetworkPolicyPeer:
+    """One ``from`` peer.  We model ``ipBlock`` peers; label selectors
+    are resolved to ipBlocks by the caller (the control plane knows pod
+    IPs, the dataplane only ever sees addresses)."""
+
+    ip_block: IpBlock
+
+
+@dataclass(frozen=True)
+class NetworkPolicyPort:
+    """One ``ports`` element: a protocol plus an optional port (range)."""
+
+    protocol: str = "tcp"
+    port: int | None = None
+    end_port: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.end_port is not None and self.port is None:
+            raise PolicyValidationError("endPort requires port")
+        if (
+            self.port is not None
+            and self.end_port is not None
+            and self.end_port < self.port
+        ):
+            raise PolicyValidationError("endPort must be >= port")
+
+    def port_range(self) -> tuple[int, int] | None:
+        """The inclusive destination port range, or ``None`` for any."""
+        if self.port is None:
+            return None
+        return (self.port, self.end_port if self.end_port is not None else self.port)
+
+
+@dataclass(frozen=True)
+class NetworkPolicyIngressRule:
+    """One ingress entry: OR-ed with its siblings, AND within."""
+
+    from_: tuple[NetworkPolicyPeer, ...] = ()
+    ports: tuple[NetworkPolicyPort, ...] = ()
+
+
+@dataclass(frozen=True)
+class NetworkPolicy:
+    """A NetworkPolicy applying to the pods a target represents."""
+
+    name: str
+    ingress: tuple[NetworkPolicyIngressRule, ...] = ()
+
+
+class KubernetesCms:
+    """The Kubernetes policy surface: ipBlock + destination ports."""
+
+    name = "kubernetes"
+    supports_source_ports = False
+
+    def validate(self, policy: NetworkPolicy) -> None:
+        """NetworkPolicy cannot express source ports (no API field) —
+        modelled here by the object model itself — and every ``ports``
+        protocol must be TCP/UDP."""
+        for rule in policy.ingress:
+            for port in rule.ports:
+                if port.protocol not in ("tcp", "udp"):
+                    raise PolicyValidationError(
+                        f"NetworkPolicy port protocol must be tcp/udp, "
+                        f"got {port.protocol!r}"
+                    )
+
+    def compile(
+        self,
+        policy: NetworkPolicy,
+        target: PolicyTarget,
+        space: FieldSpace = OVS_FIELDS,
+    ) -> list[FlowRule]:
+        """Compile to flow rules: one allow per (entry, peer×port
+        combination), explicit denies for ipBlock exceptions, and the
+        policy's default deny."""
+        self.validate(policy)
+        acl = Acl(name=policy.name)
+        except_rules: list[FlowRule] = []
+        for rule in policy.ingress:
+            peers = list(rule.from_) or [None]
+            ports = list(rule.ports) or [None]
+            for peer in peers:
+                cidr = peer.ip_block.cidr if peer is not None else None
+                if peer is not None:
+                    except_rules.extend(
+                        self._except_denies(peer.ip_block, target, space, policy.name)
+                    )
+                for port in ports:
+                    if port is None:
+                        acl.add(AclEntry(src_cidr=cidr, comment=policy.name))
+                    else:
+                        acl.add(
+                            AclEntry(
+                                src_cidr=cidr,
+                                protocol=port.protocol,
+                                dst_ports=port.port_range(),
+                                comment=policy.name,
+                            )
+                        )
+        return except_rules + acl_to_rules(acl, target, space)
+
+    def _except_denies(
+        self,
+        block: IpBlock,
+        target: PolicyTarget,
+        space: FieldSpace,
+        policy_name: str,
+    ) -> list[FlowRule]:
+        rules = []
+        for carved in block.except_:
+            network, prefix_len = parse_cidr(carved)
+            fields: dict[str, tuple[int, int]] = {
+                "ip_src": (network, prefix_to_mask(prefix_len))
+            }
+            if "eth_type" in space:
+                fields["eth_type"] = (ETHERTYPE_IPV4, ones(16))
+            if "ip_dst" in space:
+                fields["ip_dst"] = (target.pod_ip, ones(32))
+            rules.append(
+                FlowRule(
+                    match=FlowMatch(space, fields),
+                    action=Drop(),
+                    priority=PRIORITY_EXPLICIT_DENY,
+                    tenant=target.tenant,
+                    comment=f"{policy_name}: ipBlock except {carved}",
+                )
+            )
+        return rules

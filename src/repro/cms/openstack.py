@@ -1,0 +1,105 @@
+"""OpenStack security groups: object model, validation and compilation.
+
+A security group is a set of *allow* rules (there is no deny rule type);
+anything not allowed is dropped.  An ingress rule constrains a remote IP
+prefix, a protocol and a **destination** port range — like Kubernetes,
+the Nova/Neutron API has no source-port field, so the reachable
+deny-mask space tops out at 32 × 16 = 512 here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cms.acl import Acl, AclEntry, acl_to_rules
+from repro.cms.base import PolicyTarget, PolicyValidationError
+from repro.flow.fields import FieldSpace, OVS_FIELDS
+from repro.flow.rule import FlowRule
+from repro.net.addresses import parse_cidr
+
+
+@dataclass(frozen=True)
+class SecurityGroupRule:
+    """One security-group rule (ingress unless stated otherwise)."""
+
+    direction: str = "ingress"
+    ethertype: str = "IPv4"
+    protocol: str | None = None
+    port_range_min: int | None = None
+    port_range_max: int | None = None
+    remote_ip_prefix: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("ingress", "egress"):
+            raise PolicyValidationError(f"bad direction {self.direction!r}")
+        if self.ethertype not in ("IPv4",):
+            raise PolicyValidationError(
+                f"this reproduction models IPv4 only, got {self.ethertype!r}"
+            )
+        if (self.port_range_min is None) != (self.port_range_max is None):
+            raise PolicyValidationError(
+                "port_range_min and port_range_max must be set together"
+            )
+        if self.port_range_min is not None:
+            if self.protocol not in ("tcp", "udp"):
+                raise PolicyValidationError("port ranges require tcp or udp")
+            if not 0 <= self.port_range_min <= self.port_range_max <= 0xFFFF:
+                raise PolicyValidationError(
+                    f"bad port range [{self.port_range_min}, {self.port_range_max}]"
+                )
+        if self.remote_ip_prefix is not None:
+            parse_cidr(self.remote_ip_prefix)  # validates
+
+    def port_range(self) -> tuple[int, int] | None:
+        """The inclusive destination port range, or ``None``."""
+        if self.port_range_min is None:
+            return None
+        return (self.port_range_min, self.port_range_max)  # type: ignore[return-value]
+
+
+@dataclass
+class SecurityGroup:
+    """A named set of allow rules."""
+
+    name: str
+    rules: list[SecurityGroupRule] = field(default_factory=list)
+
+    def add(self, rule: SecurityGroupRule) -> "SecurityGroup":
+        """Append a rule (fluent)."""
+        self.rules.append(rule)
+        return self
+
+
+class OpenStackCms:
+    """The OpenStack security-group surface."""
+
+    name = "openstack"
+    supports_source_ports = False
+
+    def validate(self, policy: SecurityGroup) -> None:
+        """Rule-level validation happens in the dataclasses; the group
+        level only needs a non-empty name."""
+        if not policy.name:
+            raise PolicyValidationError("security group needs a name")
+
+    def compile(
+        self,
+        policy: SecurityGroup,
+        target: PolicyTarget,
+        space: FieldSpace = OVS_FIELDS,
+    ) -> list[FlowRule]:
+        """Compile ingress rules into flow rules + default deny."""
+        self.validate(policy)
+        acl = Acl(name=policy.name)
+        for rule in policy.rules:
+            if rule.direction != "ingress":
+                continue  # egress enforcement attaches at the sender's port
+            acl.add(
+                AclEntry(
+                    src_cidr=rule.remote_ip_prefix,
+                    protocol=rule.protocol,
+                    dst_ports=rule.port_range(),
+                    comment=policy.name,
+                )
+            )
+        return acl_to_rules(acl, target, space)

@@ -1,0 +1,49 @@
+"""Cap the number of distinct megaflow masks.
+
+The TSS scan cost is linear in the number of *masks*, not entries, so a
+hard cap on masks bounds the worst-case lookup cost regardless of what
+tenants inject.  When the cap is hit, a megaflow whose mask would be new
+is degraded to an **exact-match** entry (it joins the all-exact subtable,
+which exists at most once) or simply not cached, depending on ``mode``.
+"""
+
+from __future__ import annotations
+
+from repro.flow.match import FlowMatch
+from repro.ovs.upcall import InstallContext, InstallRejected
+
+
+class MaskLimitGuard:
+    """An install guard enforcing a megaflow mask budget."""
+
+    def __init__(self, max_masks: int, mode: str = "exact") -> None:
+        if max_masks < 1:
+            raise ValueError("max_masks must be at least 1")
+        if mode not in ("exact", "reject"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.max_masks = max_masks
+        self.mode = mode
+        self.degraded = 0
+        self.rejected = 0
+
+    def __call__(self, context: InstallContext) -> FlowMatch | None:
+        masks = context.match.mask_signature()
+        tss = context.cache.tss
+        if tss.find_subtable(masks) is not None:
+            return None  # mask already exists: no new subtable
+        if tss.mask_count < self.max_masks:
+            return None  # budget available
+        if self.mode == "reject":
+            self.rejected += 1
+            raise InstallRejected(
+                f"mask budget exhausted ({self.max_masks}); not caching"
+            )
+        exact = FlowMatch.exact(context.match.space, context.key)
+        if tss.find_subtable(exact.mask_signature()) is None and (
+            tss.mask_count >= self.max_masks + 1
+        ):
+            # even the exact subtable cannot be created within budget+1
+            self.rejected += 1
+            raise InstallRejected("mask budget exhausted; not caching")
+        self.degraded += 1
+        return exact

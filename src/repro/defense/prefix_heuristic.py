@@ -1,0 +1,67 @@
+"""Coarse-grained wildcarding: "improved heuristics in OVS".
+
+The attack's mask diversity comes from megaflows being un-wildcarded at
+*bit* granularity: every witness-bit position is a distinct mask.  If
+the slow path instead rounds each field's un-wildcarded prefix up to a
+multiple of ``granularity`` bits, the reachable mask space collapses
+from ``Π L_i`` to ``Π ⌈L_i / g⌉``:
+
+====================  =========  =========  =========
+attack surface        g = 1      g = 8      g = 16
+====================  =========  =========  =========
+ip_src                32         4          2
++ tp_dst              512        8          2
++ tp_src (Calico)     8192       16         4
+====================  =========  =========  =========
+
+Rounding *up* (never down) keeps megaflows semantically correct — a
+more specific megaflow matches a subset of the original region, and its
+key bits come from the triggering packet — at the price of coverage:
+more specific megaflows serve fewer packets, so benign flow-diverse
+traffic takes more upcalls (quantified in the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.flow.match import FlowMatch
+from repro.ovs.upcall import InstallContext
+from repro.ovs.wildcarding import prefix_cover_len
+from repro.util.bits import mask_of_prefix
+
+
+def rounded_mask_count(prefix_lens: list[int], granularity: int) -> int:
+    """Closed form of the post-defense reachable mask count."""
+    if granularity < 1:
+        raise ValueError("granularity must be >= 1")
+    return math.prod(math.ceil(length / granularity) for length in prefix_lens)
+
+
+class PrefixRoundingGuard:
+    """An install guard that coarsens megaflow masks before caching."""
+
+    def __init__(self, granularity: int = 8) -> None:
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1")
+        self.granularity = granularity
+        self.coarsened = 0
+
+    def __call__(self, context: InstallContext) -> FlowMatch | None:
+        space = context.match.space
+        new_masks = []
+        changed = False
+        for spec, mask in zip(space.specs, context.match.masks):
+            cover = prefix_cover_len(mask, spec.width)
+            rounded = min(
+                spec.width,
+                math.ceil(cover / self.granularity) * self.granularity,
+            )
+            new_mask = mask_of_prefix(rounded, spec.width)
+            if new_mask != mask:
+                changed = True
+            new_masks.append(new_mask)
+        if not changed:
+            return None
+        self.coarsened += 1
+        return FlowMatch.from_tuples(space, context.key.values, tuple(new_masks))

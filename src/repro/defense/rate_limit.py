@@ -1,0 +1,74 @@
+"""Per-tenant token-bucket limiting of megaflow installations.
+
+Upcall (and therefore megaflow-install) rate limiting is the classic
+response to slow-path abuse.  Against policy injection it is only a
+partial fix: sustaining 8192 masks needs just ~820 refreshes/s, and
+refreshes are cache *hits*, not installs — the limiter only slows the
+initial ramp and the re-installation after idle expiry.  The ablation
+benchmark quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flow.match import FlowMatch
+from repro.ovs.upcall import InstallContext, InstallRejected
+
+
+@dataclass
+class TokenBucket:
+    """A standard token bucket (tokens replenish continuously)."""
+
+    rate: float
+    burst: float
+    tokens: float = field(default=-1.0)
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        if self.tokens < 0:
+            self.tokens = self.burst
+
+    def try_take(self, now: float, amount: float = 1.0) -> bool:
+        """Consume ``amount`` tokens if available at time ``now``."""
+        if now > self.last_refill:
+            self.tokens = min(self.burst, self.tokens + (now - self.last_refill) * self.rate)
+            self.last_refill = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class UpcallRateLimitGuard:
+    """An install guard that rate-limits megaflow installs per tenant.
+
+    Tenants without attribution (``tenant is None``) share the
+    ``"<anonymous>"`` bucket.
+    """
+
+    def __init__(self, rate_per_sec: float, burst: float | None = None) -> None:
+        self.rate = rate_per_sec
+        self.burst = burst if burst is not None else max(rate_per_sec, 1.0)
+        self._buckets: dict[str, TokenBucket] = {}
+        self.throttled = 0
+
+    def bucket_for(self, tenant: str | None) -> TokenBucket:
+        """The (lazily created) bucket of one tenant."""
+        name = tenant or "<anonymous>"
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            bucket = TokenBucket(rate=self.rate, burst=self.burst)
+            self._buckets[name] = bucket
+        return bucket
+
+    def __call__(self, context: InstallContext) -> FlowMatch | None:
+        bucket = self.bucket_for(context.tenant)
+        if bucket.try_take(context.now):
+            return None
+        self.throttled += 1
+        raise InstallRejected(
+            f"install rate limit exceeded for tenant {context.tenant!r}"
+        )

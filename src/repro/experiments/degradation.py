@@ -1,0 +1,116 @@
+"""E5 — the headline: "reduce its effective peak performance by 80-90%,
+and, in certain cases, denying network access altogether".
+
+"Effective peak performance" is the switch's packet-processing capacity
+for flow-diverse traffic — the megaflow-path capacity (DESIGN.md §6).
+This sweep reports, per attack surface, the measured mask count and the
+attacked capacity as a fraction of the pre-attack peak, plus the
+end-to-end victim throughput ratio from a full campaign run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.campaign import AttackCampaign
+from repro.attack.policy import (
+    calico_attack_policy,
+    kubernetes_attack_policy,
+    openstack_attack_security_group,
+    single_prefix_policy,
+)
+from repro.cms.calico import CalicoCms
+from repro.cms.kubernetes import KubernetesCms
+from repro.cms.openstack import OpenStackCms
+from repro.net.addresses import ip_to_int
+from repro.perf.costmodel import CostModel
+from repro.perf.factory import switch_for_profile
+from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.util.ascii_chart import AsciiTable
+
+
+@dataclass
+class DegradationRow:
+    """One attack surface's degradation summary."""
+
+    surface: str
+    cms: str
+    masks: int
+    #: megaflow-path capacity, attacked / peak (the paper's headline metric)
+    capacity_ratio: float
+    #: end-to-end victim throughput, post-attack / pre-attack
+    victim_ratio: float
+
+    @property
+    def reduction_pct(self) -> float:
+        """Peak-performance reduction in percent."""
+        return (1.0 - self.capacity_ratio) * 100.0
+
+
+_SCENARIOS = [
+    ("/8 warm-up", "kubernetes", KubernetesCms(), lambda: single_prefix_policy("10.0.0.0/8")),
+    ("ip_src+tp_dst", "kubernetes", KubernetesCms(), kubernetes_attack_policy),
+    ("ip_src+tp_dst", "openstack", OpenStackCms(), openstack_attack_security_group),
+    ("ip+dport+sport", "calico", CalicoCms(), calico_attack_policy),
+]
+
+
+def run_degradation_sweep(
+    duration: float = 120.0,
+    attack_start: float = 30.0,
+    cost_model: CostModel | None = None,
+) -> list[DegradationRow]:
+    """Run every surface through a full campaign on a kernel-profile
+    switch and summarise."""
+    model = cost_model or CostModel()
+    rows: list[DegradationRow] = []
+    for surface, cms_name, cms, builder in _SCENARIOS:
+        policy, dimensions = builder()
+        campaign = AttackCampaign(
+            cms=cms,
+            policy=policy,
+            dimensions=dimensions,
+            attacker_pod_ip=ip_to_int("10.0.9.10"),
+            victim=VictimWorkload(offered_bps=1e9),
+            attacker=AttackerWorkload(rate_bps=2e6, start_time=attack_start),
+            duration=duration,
+            cost_model=model,
+            switch=switch_for_profile("kernel", name=f"node-{cms_name}"),
+        )
+        report = campaign.run()
+        sim = report.simulation
+        masks = sim.final_mask_count()
+        rows.append(
+            DegradationRow(
+                surface=surface,
+                cms=cms_name,
+                masks=masks,
+                capacity_ratio=model.degradation_ratio(masks),
+                victim_ratio=sim.degradation(),
+            )
+        )
+    return rows
+
+
+def render(rows: list[DegradationRow]) -> str:
+    """Tabulate the sweep (the paper's headline row is kubernetes/512)."""
+    table = AsciiTable(
+        ["Surface", "CMS", "Masks", "Peak capacity", "Reduction", "Victim tput"],
+        title="Headline degradation sweep (E5)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.surface,
+                row.cms,
+                row.masks,
+                f"{row.capacity_ratio:.1%} of peak",
+                f"{row.reduction_pct:.0f}%",
+                f"{row.victim_ratio:.1%} of baseline",
+            ]
+        )
+    return table.render()
+
+
+if __name__ == "__main__":
+    print(render(run_degradation_sweep()))

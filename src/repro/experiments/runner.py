@@ -1,0 +1,84 @@
+"""Run every experiment and emit the consolidated report.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig2 fig3  # a subset
+    python -m repro.experiments.runner --csv out/ # also dump CSV series
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import degradation, defenses, fig2, fig3, masks
+
+
+def run_fig2_experiment(csv_dir: Path | None) -> str:
+    result = fig2.run_fig2()
+    return result.render()
+
+
+def run_masks_experiment(csv_dir: Path | None) -> str:
+    return masks.render(masks.run_mask_counts())
+
+
+def run_fig3_experiment(csv_dir: Path | None) -> str:
+    result = fig3.run_fig3()
+    if csv_dir is not None:
+        result.series.to_csv(csv_dir / "fig3.csv")
+    return result.render()
+
+
+def run_degradation_experiment(csv_dir: Path | None) -> str:
+    return degradation.render(degradation.run_degradation_sweep())
+
+
+def run_defenses_experiment(csv_dir: Path | None) -> str:
+    return defenses.render(defenses.run_defense_ablation())
+
+
+EXPERIMENTS = {
+    "fig2": ("E1: Fig. 2b megaflow table", run_fig2_experiment),
+    "masks": ("E2/E3: in-text mask counts", run_masks_experiment),
+    "fig3": ("E4: Fig. 3 time series", run_fig3_experiment),
+    "degradation": ("E5: headline degradation sweep", run_degradation_experiment),
+    "defenses": ("E7: mitigation ablation", run_defenses_experiment),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, "all"],
+        default=["all"],
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for CSV time-series dumps",
+    )
+    args = parser.parse_args(argv)
+
+    selected = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+
+    for name in selected:
+        title, runner = EXPERIMENTS[name]
+        banner = f"== {title} =="
+        print(banner)
+        print(runner(args.csv))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""``repro.flow`` — flow keys, wildcard matches, rules and flow tables.
+
+This is the vocabulary shared by the slow path (the OpenFlow-style
+classifier), the fast path (megaflow cache) and the CMS compilers:
+
+* a :class:`FieldSpace` describes which header fields exist and how wide
+  they are (the default :data:`OVS_FIELDS` space models the OVS flow key
+  over the IP 5-tuple plus L2 metadata);
+* a :class:`FlowKey` is a concrete packet's header values in that space;
+* a :class:`FlowMatch` is a value/mask pair per field (wildcard rule);
+* a :class:`FlowRule` adds priority, actions and insertion order; and
+* a :class:`FlowTable` is the ordered, *overlapping-permitted* rule set
+  that the paper's Section 2 describes ("if multiple rules match, the
+  one added first will be applied").
+"""
+
+from repro.flow.fields import (
+    FIG2_FIELD,
+    FieldSpace,
+    FieldSpec,
+    OVS_FIELDS,
+    toy_single_field_space,
+)
+from repro.flow.key import FlowKey
+from repro.flow.match import FlowMatch, MatchBuilder
+from repro.flow.actions import Action, Allow, Controller, Drop, Output
+from repro.flow.rule import FlowRule
+from repro.flow.table import FlowTable
+from repro.flow.extract import flow_key_from_packet
+
+__all__ = [
+    "Action",
+    "Allow",
+    "Controller",
+    "Drop",
+    "FIG2_FIELD",
+    "FieldSpace",
+    "FieldSpec",
+    "FlowKey",
+    "FlowMatch",
+    "FlowRule",
+    "FlowTable",
+    "MatchBuilder",
+    "OVS_FIELDS",
+    "Output",
+    "flow_key_from_packet",
+    "toy_single_field_space",
+]

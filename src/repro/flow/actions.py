@@ -1,0 +1,64 @@
+"""Packet processing actions attached to flow rules and megaflows.
+
+The ACL world only needs *allow* vs *deny*; the dataplane additionally
+needs *output to port* and *send to controller/slow path*.  Actions are
+immutable value objects so megaflow entries can share them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Action:
+    """Base class for all actions (a marker with common helpers)."""
+
+    #: short name used in tables and reports
+    kind = "action"
+
+    def is_forwarding(self) -> bool:
+        """True when packets matching this action keep flowing."""
+        return False
+
+    def __repr__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True, repr=False)
+class Allow(Action):
+    """Permit the packet (ACL whitelist hit); forwarding is decided by
+    the surrounding pipeline (normally: deliver to the destination port)."""
+
+    kind = "allow"
+
+    def is_forwarding(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, repr=False)
+class Drop(Action):
+    """Silently discard the packet (the ACL default-deny)."""
+
+    kind = "deny"
+
+
+@dataclass(frozen=True, repr=False)
+class Output(Action):
+    """Forward the packet out of a specific port."""
+
+    port: int
+    kind = "output"
+
+    def is_forwarding(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"output:{self.port}"
+
+
+@dataclass(frozen=True, repr=False)
+class Controller(Action):
+    """Punt the packet to the control plane (not used by the attack but
+    part of a faithful OpenFlow action vocabulary)."""
+
+    kind = "controller"

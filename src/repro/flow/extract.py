@@ -1,0 +1,72 @@
+"""Packet → flow key extraction (the OVS ``flow_extract`` step).
+
+Bridges the byte-level world of :mod:`repro.net` and the field world of
+:mod:`repro.flow`: given a crafted (or parsed) layer chain and the
+ingress port, produce the :class:`FlowKey` the classifier operates on.
+"""
+
+from __future__ import annotations
+
+from repro.flow.fields import OVS_FIELDS, FieldSpace
+from repro.flow.key import FlowKey
+from repro.net.ethernet import Ethernet, Vlan
+from repro.net.ipv4 import IPv4
+from repro.net.l4 import Icmp, Tcp, Udp
+from repro.net.layers import Layer
+from repro.net.parse import parse_ethernet
+
+
+def flow_key_from_packet(
+    packet: Layer | bytes,
+    in_port: int = 0,
+    space: FieldSpace = OVS_FIELDS,
+) -> FlowKey:
+    """Extract the OVS flow key from a packet.
+
+    Accepts either a layer chain or raw frame bytes.  Fields that the
+    packet does not carry (e.g. L4 ports of an ICMP packet) are
+    zero-filled, exactly as ``flow_extract`` zero-fills absent flow-key
+    members.
+    """
+    if isinstance(packet, (bytes, bytearray)):
+        packet = parse_ethernet(bytes(packet))
+
+    values: dict[str, int] = {"in_port": in_port}
+
+    eth = packet.get_layer(Ethernet)
+    if eth is not None and "eth_type" in space:
+        vlan = packet.get_layer(Vlan)
+        if vlan is not None:
+            values["eth_type"] = vlan.effective_ethertype()
+        else:
+            values["eth_type"] = eth.effective_ethertype()
+
+    ip = packet.get_layer(IPv4)
+    if ip is not None:
+        if "ip_src" in space:
+            values["ip_src"] = ip.src
+        if "ip_dst" in space:
+            values["ip_dst"] = ip.dst
+        if "ip_proto" in space:
+            values["ip_proto"] = ip.effective_proto()
+
+    tcp = packet.get_layer(Tcp)
+    udp = packet.get_layer(Udp)
+    icmp = packet.get_layer(Icmp)
+    if tcp is not None:
+        sport, dport = tcp.sport, tcp.dport
+    elif udp is not None:
+        sport, dport = udp.sport, udp.dport
+    elif icmp is not None:
+        # OVS stores ICMP type/code in the tp_src/tp_dst members
+        sport, dport = icmp.icmp_type, icmp.code
+    else:
+        sport = dport = None
+    if sport is not None:
+        if "tp_src" in space:
+            values["tp_src"] = sport
+        if "tp_dst" in space:
+            values["tp_dst"] = dport
+
+    known = {name: value for name, value in values.items() if name in space}
+    return FlowKey(space, known)

@@ -1,0 +1,75 @@
+"""Concrete packet header values: the flow key."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.flow.fields import FieldSpace
+
+
+class FlowKey:
+    """A packet's extracted header values within a :class:`FieldSpace`.
+
+    Internally a tuple aligned with the space's field order, so keys are
+    cheap to hash — they are the lookup keys of both the microflow cache
+    and the per-tuple hash tables of the megaflow cache.
+
+    Unspecified fields default to zero, which mirrors how OVS zero-fills
+    flow-key members that a packet does not carry (e.g. ``tp_src`` for a
+    non-TCP/UDP packet).
+    """
+
+    __slots__ = ("space", "values")
+
+    def __init__(self, space: FieldSpace, values: Mapping[str, int] | None = None) -> None:
+        self.space = space
+        filled = [0] * len(space)
+        if values:
+            for name, value in values.items():
+                spec = space.spec(name)
+                filled[space.index_of(name)] = spec.check(value)
+        self.values: tuple[int, ...] = tuple(filled)
+
+    @classmethod
+    def from_tuple(cls, space: FieldSpace, values: tuple[int, ...]) -> "FlowKey":
+        """Build directly from an aligned value tuple (trusted input)."""
+        if len(values) != len(space):
+            raise ValueError(
+                f"tuple has {len(values)} values, space has {len(space)} fields"
+            )
+        key = cls.__new__(cls)
+        key.space = space
+        key.values = values
+        return key
+
+    def get(self, name: str) -> int:
+        """Value of one field."""
+        return self.values[self.space.index_of(name)]
+
+    def replace(self, **updates: int) -> "FlowKey":
+        """Return a copy with some fields changed."""
+        new_values = list(self.values)
+        for name, value in updates.items():
+            spec = self.space.spec(name)
+            new_values[self.space.index_of(name)] = spec.check(value)
+        return FlowKey.from_tuple(self.space, tuple(new_values))
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        """Iterate ``(field_name, value)`` pairs in field order."""
+        for spec, value in zip(self.space.specs, self.values):
+            yield spec.name, value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowKey):
+            return NotImplemented
+        return self.space == other.space and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{spec.name}={spec.format(value)}"
+            for spec, value in zip(self.space.specs, self.values)
+        )
+        return f"FlowKey({inner})"

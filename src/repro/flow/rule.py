@@ -1,0 +1,40 @@
+"""Flow rules: a wildcard match plus priority, actions and provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flow.actions import Action
+from repro.flow.match import FlowMatch
+
+
+@dataclass
+class FlowRule:
+    """One slow-path rule.
+
+    ``seq`` is assigned by the :class:`~repro.flow.table.FlowTable` at
+    insertion and breaks priority ties the way the paper describes OVS
+    behaviour: among equal-priority overlapping rules, "the one added
+    first will be applied".
+
+    ``tenant`` records which cloud tenant's policy produced the rule —
+    the defense module's attribution logic uses it.
+    """
+
+    match: FlowMatch
+    action: Action
+    priority: int = 0
+    seq: int = field(default=-1, compare=False)
+    tenant: str | None = None
+    comment: str = ""
+
+    def sort_key(self) -> tuple[int, int]:
+        """Lookup order: higher priority first, then earlier insertion."""
+        return (-self.priority, self.seq)
+
+    def __repr__(self) -> str:
+        origin = f" tenant={self.tenant}" if self.tenant else ""
+        return (
+            f"FlowRule(prio={self.priority}, {self.match!r} -> "
+            f"{self.action!r}{origin})"
+        )

@@ -1,0 +1,60 @@
+"""``repro.net`` — from-scratch packet crafting and parsing.
+
+The paper's attack tooling uses scapy to craft covert packets whose
+header *bits* are precisely controlled.  This subpackage provides the
+same capability without external dependencies:
+
+* typed header layers (:class:`Ethernet`, :class:`Vlan`, :class:`Arp`,
+  :class:`IPv4`, :class:`Tcp`, :class:`Udp`, :class:`Icmp`, :class:`Raw`)
+  that stack with ``/`` like scapy and serialise to real wire bytes with
+  correct lengths and checksums;
+* a parser (:func:`parse_ethernet`) that round-trips those bytes; and
+* pcap file I/O (:class:`PcapWriter`, :class:`PcapReader`) so the covert
+  stream can be exported for replay with standard tools.
+"""
+
+from repro.net.addresses import (
+    MacAddr,
+    int_to_ip,
+    ip_in_prefix,
+    ip_to_int,
+    prefix_to_mask,
+    random_ip_in_prefix,
+)
+from repro.net.checksum import internet_checksum
+from repro.net.layers import Layer, Raw
+from repro.net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, ETHERTYPE_VLAN, Ethernet, Vlan
+from repro.net.arp import Arp
+from repro.net.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4
+from repro.net.l4 import Icmp, Tcp, Udp
+from repro.net.parse import parse_ethernet
+from repro.net.pcap import PcapPacket, PcapReader, PcapWriter
+
+__all__ = [
+    "Arp",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_VLAN",
+    "Ethernet",
+    "Icmp",
+    "IPv4",
+    "Layer",
+    "MacAddr",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PcapPacket",
+    "PcapReader",
+    "PcapWriter",
+    "Raw",
+    "Tcp",
+    "Udp",
+    "Vlan",
+    "int_to_ip",
+    "internet_checksum",
+    "ip_in_prefix",
+    "ip_to_int",
+    "parse_ethernet",
+    "prefix_to_mask",
+    "random_ip_in_prefix",
+]

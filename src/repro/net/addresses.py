@@ -1,0 +1,140 @@
+"""MAC and IPv4 address handling.
+
+IPv4 addresses are carried as plain 32-bit integers throughout the
+library (the flow-key representation); dotted-quad strings are accepted
+at every API boundary and converted with :func:`ip_to_int`.
+"""
+
+from __future__ import annotations
+
+from repro.util.bits import mask_of_prefix, ones
+from repro.util.rng import DeterministicRng
+
+IPV4_WIDTH = 32
+MAC_WIDTH = 48
+
+
+class MacAddr:
+    """An immutable 48-bit MAC address.
+
+    Accepts colon-separated strings, raw 6-byte strings, integers, or
+    another :class:`MacAddr`.
+
+    >>> MacAddr("02:00:00:00:00:01").value
+    2199023255553
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, address: "MacAddr | str | bytes | int") -> None:
+        if isinstance(address, MacAddr):
+            self.value = address.value
+        elif isinstance(address, int):
+            if not 0 <= address <= ones(MAC_WIDTH):
+                raise ValueError(f"MAC integer out of range: {address:#x}")
+            self.value = address
+        elif isinstance(address, bytes):
+            if len(address) != 6:
+                raise ValueError(f"MAC bytes must be 6 bytes, got {len(address)}")
+            self.value = int.from_bytes(address, "big")
+        elif isinstance(address, str):
+            parts = address.split(":")
+            if len(parts) != 6:
+                raise ValueError(f"malformed MAC address: {address!r}")
+            self.value = int.from_bytes(bytes(int(p, 16) for p in parts), "big")
+        else:
+            raise TypeError(f"cannot build MacAddr from {type(address).__name__}")
+
+    def packed(self) -> bytes:
+        """Return the 6-byte wire representation."""
+        return self.value.to_bytes(6, "big")
+
+    def is_broadcast(self) -> bool:
+        """True for ff:ff:ff:ff:ff:ff."""
+        return self.value == ones(MAC_WIDTH)
+
+    def is_multicast(self) -> bool:
+        """True when the I/G bit of the first octet is set."""
+        return bool((self.value >> 40) & 0x01)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (MacAddr, int, str, bytes)):
+            return self.value == MacAddr(other).value if not isinstance(other, int) else self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __str__(self) -> str:
+        octets = self.packed()
+        return ":".join(f"{b:02x}" for b in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddr('{self}')"
+
+
+def ip_to_int(address: str | int) -> int:
+    """Convert a dotted-quad IPv4 string (or pass through an int) to a
+    32-bit integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    if isinstance(address, int):
+        if not 0 <= address <= ones(IPV4_WIDTH):
+            raise ValueError(f"IPv4 integer out of range: {address}")
+        return address
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad notation."""
+    if not 0 <= value <= ones(IPV4_WIDTH):
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_to_mask(prefix_len: int) -> int:
+    """Return the 32-bit netmask of a ``/prefix_len`` CIDR prefix."""
+    return mask_of_prefix(prefix_len, IPV4_WIDTH)
+
+
+def parse_cidr(cidr: str) -> tuple[int, int]:
+    """Parse ``"10.0.0.0/8"`` into ``(network_int, prefix_len)``.
+
+    A bare address is treated as a /32.
+    """
+    if "/" in cidr:
+        address, _, length_text = cidr.partition("/")
+        prefix_len = int(length_text)
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"prefix length out of range in {cidr!r}")
+    else:
+        address, prefix_len = cidr, 32
+    network = ip_to_int(address) & prefix_to_mask(prefix_len)
+    return network, prefix_len
+
+
+def ip_in_prefix(address: str | int, cidr: str) -> bool:
+    """True when ``address`` falls inside the CIDR prefix."""
+    network, prefix_len = parse_cidr(cidr)
+    return (ip_to_int(address) & prefix_to_mask(prefix_len)) == network
+
+
+def random_ip_in_prefix(rng: DeterministicRng, cidr: str) -> int:
+    """Draw a uniformly random host address within a CIDR prefix."""
+    network, prefix_len = parse_cidr(cidr)
+    host_bits = IPV4_WIDTH - prefix_len
+    return network | rng.bits(host_bits)

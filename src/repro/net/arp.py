@@ -1,0 +1,53 @@
+"""ARP (RFC 826) for IPv4-over-Ethernet."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.addresses import MacAddr, int_to_ip, ip_to_int
+from repro.net.layers import Layer
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+
+class Arp(Layer):
+    """An ARP packet (hardware = Ethernet, protocol = IPv4)."""
+
+    name = "arp"
+    HEADER_LEN = 28
+
+    def __init__(
+        self,
+        op: int = OP_REQUEST,
+        sender_mac: MacAddr | str | int = "00:00:00:00:00:00",
+        sender_ip: str | int = 0,
+        target_mac: MacAddr | str | int = "00:00:00:00:00:00",
+        target_ip: str | int = 0,
+    ) -> None:
+        super().__init__()
+        self.op = op
+        self.sender_mac = MacAddr(sender_mac) if not isinstance(sender_mac, MacAddr) else sender_mac
+        self.sender_ip = ip_to_int(sender_ip)
+        self.target_mac = MacAddr(target_mac) if not isinstance(target_mac, MacAddr) else target_mac
+        self.target_ip = ip_to_int(target_ip)
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        header = b"".join(
+            (
+                (1).to_bytes(2, "big"),       # htype: Ethernet
+                (0x0800).to_bytes(2, "big"),  # ptype: IPv4
+                (6).to_bytes(1, "big"),       # hlen
+                (4).to_bytes(1, "big"),       # plen
+                self.op.to_bytes(2, "big"),
+                self.sender_mac.packed(),
+                self.sender_ip.to_bytes(4, "big"),
+                self.target_mac.packed(),
+                self.target_ip.to_bytes(4, "big"),
+            )
+        )
+        return header + payload
+
+    def _summary_fragment(self) -> str:
+        kind = "who-has" if self.op == OP_REQUEST else "is-at"
+        return f"arp {kind} {int_to_ip(self.target_ip)}"

@@ -1,0 +1,106 @@
+"""Ethernet II and 802.1Q VLAN layers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.addresses import MacAddr
+from repro.net.layers import Layer
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+#: minimum Ethernet payload; shorter frames are padded on the wire
+MIN_PAYLOAD = 46
+
+
+class Ethernet(Layer):
+    """An Ethernet II frame header.
+
+    ``ethertype`` is filled automatically from the payload layer when the
+    default sentinel (``None``) is kept.
+    """
+
+    name = "eth"
+    HEADER_LEN = 14
+
+    def __init__(
+        self,
+        src: MacAddr | str | int = "00:00:00:00:00:00",
+        dst: MacAddr | str | int = "ff:ff:ff:ff:ff:ff",
+        ethertype: int | None = None,
+        pad_to_min: bool = False,
+    ) -> None:
+        super().__init__()
+        self.src = MacAddr(src) if not isinstance(src, MacAddr) else src
+        self.dst = MacAddr(dst) if not isinstance(dst, MacAddr) else dst
+        self.ethertype = ethertype
+        self.pad_to_min = pad_to_min
+
+    def effective_ethertype(self) -> int:
+        """The ethertype that will be emitted, inferring from payload."""
+        if self.ethertype is not None:
+            return self.ethertype
+        from repro.net.arp import Arp
+        from repro.net.ipv4 import IPv4
+
+        if isinstance(self.payload, IPv4):
+            return ETHERTYPE_IPV4
+        if isinstance(self.payload, Arp):
+            return ETHERTYPE_ARP
+        if isinstance(self.payload, Vlan):
+            return ETHERTYPE_VLAN
+        return 0xFFFF
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        if self.pad_to_min and len(payload) < MIN_PAYLOAD:
+            payload = payload + b"\x00" * (MIN_PAYLOAD - len(payload))
+        header = (
+            self.dst.packed()
+            + self.src.packed()
+            + self.effective_ethertype().to_bytes(2, "big")
+        )
+        return header + payload
+
+    def _summary_fragment(self) -> str:
+        return f"eth {self.src}>{self.dst}"
+
+
+class Vlan(Layer):
+    """An 802.1Q tag (follows the Ethernet header when present)."""
+
+    name = "vlan"
+    HEADER_LEN = 4
+
+    def __init__(self, vid: int = 0, pcp: int = 0, dei: int = 0,
+                 ethertype: int | None = None) -> None:
+        super().__init__()
+        if not 0 <= vid < 4096:
+            raise ValueError(f"VLAN id out of range: {vid}")
+        if not 0 <= pcp < 8:
+            raise ValueError(f"VLAN PCP out of range: {pcp}")
+        self.vid = vid
+        self.pcp = pcp
+        self.dei = dei & 1
+        self.ethertype = ethertype
+
+    def effective_ethertype(self) -> int:
+        """Inner ethertype, inferred from the payload when unset."""
+        if self.ethertype is not None:
+            return self.ethertype
+        from repro.net.arp import Arp
+        from repro.net.ipv4 import IPv4
+
+        if isinstance(self.payload, IPv4):
+            return ETHERTYPE_IPV4
+        if isinstance(self.payload, Arp):
+            return ETHERTYPE_ARP
+        return 0xFFFF
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        tci = (self.pcp << 13) | (self.dei << 12) | self.vid
+        return tci.to_bytes(2, "big") + self.effective_ethertype().to_bytes(2, "big") + payload
+
+    def _summary_fragment(self) -> str:
+        return f"vlan {self.vid}"

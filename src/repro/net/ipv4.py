@@ -1,0 +1,87 @@
+"""The IPv4 header layer."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.addresses import int_to_ip, ip_to_int
+from repro.net.checksum import internet_checksum
+from repro.net.layers import Layer
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+class IPv4(Layer):
+    """An IPv4 header with automatic total-length, checksum and protocol
+    inference.
+
+    The header checksum and total length are computed at build time; the
+    protocol number is inferred from the payload layer when left unset.
+    """
+
+    name = "ipv4"
+    HEADER_LEN = 20
+
+    def __init__(
+        self,
+        src: str | int = 0,
+        dst: str | int = 0,
+        proto: int | None = None,
+        ttl: int = 64,
+        tos: int = 0,
+        ident: int = 0,
+        flags: int = 0,
+        frag_offset: int = 0,
+    ) -> None:
+        super().__init__()
+        self.src = ip_to_int(src)
+        self.dst = ip_to_int(dst)
+        self.proto = proto
+        self.ttl = ttl
+        self.tos = tos
+        self.ident = ident
+        self.flags = flags
+        self.frag_offset = frag_offset
+
+    def effective_proto(self) -> int:
+        """The protocol number that will be emitted."""
+        if self.proto is not None:
+            return self.proto
+        from repro.net.l4 import Icmp, Tcp, Udp
+
+        if isinstance(self.payload, Tcp):
+            return PROTO_TCP
+        if isinstance(self.payload, Udp):
+            return PROTO_UDP
+        if isinstance(self.payload, Icmp):
+            return PROTO_ICMP
+        return 0xFF
+
+    def _update_context(self, context: dict[str, Any]) -> None:
+        context["ipv4_src"] = self.src
+        context["ipv4_dst"] = self.dst
+        context["ipv4_proto"] = self.effective_proto()
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        total_length = self.HEADER_LEN + len(payload)
+        if total_length > 0xFFFF:
+            raise ValueError(f"IPv4 packet too large: {total_length} bytes")
+        header = bytearray(self.HEADER_LEN)
+        header[0] = (4 << 4) | 5  # version 4, IHL 5 (no options)
+        header[1] = self.tos
+        header[2:4] = total_length.to_bytes(2, "big")
+        header[4:6] = self.ident.to_bytes(2, "big")
+        header[6:8] = ((self.flags << 13) | self.frag_offset).to_bytes(2, "big")
+        header[8] = self.ttl
+        header[9] = self.effective_proto()
+        # checksum at bytes 10:12 computed over header with zero checksum
+        header[12:16] = self.src.to_bytes(4, "big")
+        header[16:20] = self.dst.to_bytes(4, "big")
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        return bytes(header) + payload
+
+    def _summary_fragment(self) -> str:
+        return f"ipv4 {int_to_ip(self.src)}>{int_to_ip(self.dst)}"

@@ -1,0 +1,143 @@
+"""Transport layers: TCP, UDP and ICMP echo.
+
+TCP and UDP checksums cover the IPv4 pseudo header, which the enclosing
+:class:`~repro.net.ipv4.IPv4` layer publishes through the build context.
+When a segment is built without an IP parent the checksum field is left
+zero (UDP permits this; for TCP it simply marks the segment as synthetic).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.ipv4 import PROTO_TCP, PROTO_UDP
+from repro.net.layers import Layer
+
+TCP_FLAG_FIN = 0x01
+TCP_FLAG_SYN = 0x02
+TCP_FLAG_RST = 0x04
+TCP_FLAG_PSH = 0x08
+TCP_FLAG_ACK = 0x10
+TCP_FLAG_URG = 0x20
+
+
+def _check_port(port: int, what: str) -> int:
+    if not 0 <= port <= 0xFFFF:
+        raise ValueError(f"{what} out of range: {port}")
+    return port
+
+
+class Tcp(Layer):
+    """A TCP header (no options)."""
+
+    name = "tcp"
+    HEADER_LEN = 20
+
+    def __init__(
+        self,
+        sport: int = 0,
+        dport: int = 0,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = TCP_FLAG_SYN,
+        window: int = 65535,
+        urgent: int = 0,
+    ) -> None:
+        super().__init__()
+        self.sport = _check_port(sport, "TCP source port")
+        self.dport = _check_port(dport, "TCP destination port")
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.urgent = urgent
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        header = bytearray(self.HEADER_LEN)
+        header[0:2] = self.sport.to_bytes(2, "big")
+        header[2:4] = self.dport.to_bytes(2, "big")
+        header[4:8] = self.seq.to_bytes(4, "big")
+        header[8:12] = self.ack.to_bytes(4, "big")
+        header[12] = (self.HEADER_LEN // 4) << 4
+        header[13] = self.flags
+        header[14:16] = self.window.to_bytes(2, "big")
+        header[18:20] = self.urgent.to_bytes(2, "big")
+        segment = bytes(header) + payload
+        if "ipv4_src" in context:
+            pseudo = pseudo_header(
+                context["ipv4_src"], context["ipv4_dst"], PROTO_TCP, len(segment)
+            )
+            checksum = internet_checksum(pseudo + segment)
+            header[16:18] = checksum.to_bytes(2, "big")
+            segment = bytes(header) + payload
+        return segment
+
+    def _summary_fragment(self) -> str:
+        return f"tcp {self.sport}>{self.dport}"
+
+
+class Udp(Layer):
+    """A UDP header."""
+
+    name = "udp"
+    HEADER_LEN = 8
+
+    def __init__(self, sport: int = 0, dport: int = 0) -> None:
+        super().__init__()
+        self.sport = _check_port(sport, "UDP source port")
+        self.dport = _check_port(dport, "UDP destination port")
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        length = self.HEADER_LEN + len(payload)
+        header = bytearray(self.HEADER_LEN)
+        header[0:2] = self.sport.to_bytes(2, "big")
+        header[2:4] = self.dport.to_bytes(2, "big")
+        header[4:6] = length.to_bytes(2, "big")
+        datagram = bytes(header) + payload
+        if "ipv4_src" in context:
+            pseudo = pseudo_header(
+                context["ipv4_src"], context["ipv4_dst"], PROTO_UDP, length
+            )
+            checksum = internet_checksum(pseudo + datagram)
+            # RFC 768: a computed zero checksum is transmitted as all ones
+            if checksum == 0:
+                checksum = 0xFFFF
+            header[6:8] = checksum.to_bytes(2, "big")
+            datagram = bytes(header) + payload
+        return datagram
+
+    def _summary_fragment(self) -> str:
+        return f"udp {self.sport}>{self.dport}"
+
+
+class Icmp(Layer):
+    """An ICMP echo request/reply header."""
+
+    name = "icmp"
+    HEADER_LEN = 8
+
+    TYPE_ECHO_REPLY = 0
+    TYPE_ECHO_REQUEST = 8
+
+    def __init__(self, icmp_type: int = TYPE_ECHO_REQUEST, code: int = 0,
+                 ident: int = 0, seq: int = 0) -> None:
+        super().__init__()
+        self.icmp_type = icmp_type
+        self.code = code
+        self.ident = ident
+        self.seq = seq
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        header = bytearray(self.HEADER_LEN)
+        header[0] = self.icmp_type
+        header[1] = self.code
+        header[4:6] = self.ident.to_bytes(2, "big")
+        header[6:8] = self.seq.to_bytes(2, "big")
+        checksum = internet_checksum(bytes(header) + payload)
+        header[2:4] = checksum.to_bytes(2, "big")
+        return bytes(header) + payload
+
+    def _summary_fragment(self) -> str:
+        kind = "echo-req" if self.icmp_type == self.TYPE_ECHO_REQUEST else f"type{self.icmp_type}"
+        return f"icmp {kind}"

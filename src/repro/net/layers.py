@@ -1,0 +1,118 @@
+"""The layer-stacking core of the packet library.
+
+A packet is a linked chain of :class:`Layer` objects.  Layers compose
+with the ``/`` operator, scapy style::
+
+    pkt = Ethernet(src="02:..:01", dst="02:..:02") / IPv4(src="10.0.0.1",
+          dst="10.0.0.2") / Tcp(sport=1234, dport=80) / Raw(b"x")
+    wire = pkt.build()
+
+Building is a two-phase walk: a layer first publishes context for its
+payload (e.g. :class:`~repro.net.ipv4.IPv4` publishes the pseudo-header
+inputs that TCP/UDP checksums need), then assembles its own header once
+the payload bytes are known (so lengths and checksums are exact).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Type, TypeVar
+
+L = TypeVar("L", bound="Layer")
+
+
+class Layer:
+    """Base class for all protocol layers.
+
+    Subclasses implement :meth:`_assemble` (header bytes given payload
+    bytes) and may override :meth:`_update_context` to pass information
+    down the stack.
+    """
+
+    #: short protocol name used in ``repr`` and summaries
+    name = "layer"
+
+    def __init__(self) -> None:
+        self.payload: Optional[Layer] = None
+
+    # -- stacking ---------------------------------------------------------
+
+    def __truediv__(self, other: "Layer") -> "Layer":
+        """Attach ``other`` under the deepest layer of this chain and
+        return the (unchanged) top of the chain."""
+        if not isinstance(other, Layer):
+            raise TypeError(f"cannot stack {type(other).__name__} onto a Layer")
+        deepest = self
+        while deepest.payload is not None:
+            deepest = deepest.payload
+        deepest.payload = other
+        return self
+
+    def layers(self) -> Iterator["Layer"]:
+        """Iterate the chain from this layer downwards."""
+        layer: Optional[Layer] = self
+        while layer is not None:
+            yield layer
+            layer = layer.payload
+
+    def get_layer(self, layer_type: Type[L]) -> Optional[L]:
+        """Return the first layer of the given type in the chain, if any."""
+        for layer in self.layers():
+            if isinstance(layer, layer_type):
+                return layer
+        return None
+
+    def has_layer(self, layer_type: Type["Layer"]) -> bool:
+        """True when the chain contains a layer of the given type."""
+        return self.get_layer(layer_type) is not None
+
+    # -- building ---------------------------------------------------------
+
+    def build(self, context: Optional[dict[str, Any]] = None) -> bytes:
+        """Serialise this layer and everything beneath it to wire bytes."""
+        context = dict(context) if context else {}
+        self._update_context(context)
+        payload_bytes = self.payload.build(context) if self.payload else b""
+        return self._assemble(payload_bytes, context)
+
+    def _update_context(self, context: dict[str, Any]) -> None:
+        """Publish build context for lower layers (default: nothing)."""
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        """Return this layer's header bytes followed by ``payload``."""
+        raise NotImplementedError
+
+    # -- introspection -----------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line, human-readable description of the whole chain."""
+        return " / ".join(layer._summary_fragment() for layer in self.layers())
+
+    def _summary_fragment(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{self.summary()}>"
+
+
+class Raw(Layer):
+    """An opaque byte payload terminating a chain."""
+
+    name = "raw"
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__()
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("Raw payload must be bytes")
+        self.data = bytes(data)
+
+    def _assemble(self, payload: bytes, context: dict[str, Any]) -> bytes:
+        return self.data + payload
+
+    def _summary_fragment(self) -> str:
+        return f"raw[{len(self.data)}B]"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Raw) and self.data == other.data
+
+    def __hash__(self) -> int:
+        return hash(self.data)

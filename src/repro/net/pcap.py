@@ -1,0 +1,138 @@
+"""Classic libpcap file format reader and writer.
+
+The attack tooling exports its covert packet stream as a ``.pcap`` so it
+can be replayed against a real Open vSwitch deployment with ``tcpreplay``
+— the same workflow the paper's companion repository (``cslev/ovsdos``)
+uses.  Only the classic (non-ng) little-endian format with microsecond
+timestamps is produced; both byte orders are accepted on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+MAGIC_LE = 0xA1B2C3D4
+MAGIC_BE = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapPacket:
+    """One captured packet: seconds + microseconds timestamp and bytes."""
+
+    timestamp: float
+    data: bytes
+
+    @property
+    def ts_sec(self) -> int:
+        return int(self.timestamp)
+
+    @property
+    def ts_usec(self) -> int:
+        return int(round((self.timestamp - int(self.timestamp)) * 1_000_000)) % 1_000_000
+
+
+class PcapWriter:
+    """Write packets to a classic pcap file.
+
+    Usable as a context manager::
+
+        with PcapWriter("covert.pcap") as writer:
+            writer.write(frame_bytes, timestamp=0.001)
+    """
+
+    def __init__(self, path: str | Path, snaplen: int = 65535,
+                 linktype: int = LINKTYPE_ETHERNET) -> None:
+        self.path = Path(path)
+        self.snaplen = snaplen
+        self.linktype = linktype
+        self._file: BinaryIO | None = None
+        self.packets_written = 0
+
+    def __enter__(self) -> "PcapWriter":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def open(self) -> None:
+        """Open the file and emit the global header."""
+        self._file = open(self.path, "wb")
+        self._file.write(
+            _GLOBAL_HEADER.pack(MAGIC_LE, 2, 4, 0, 0, self.snaplen, self.linktype)
+        )
+
+    def write(self, data: bytes, timestamp: float = 0.0) -> None:
+        """Append one packet record."""
+        if self._file is None:
+            raise RuntimeError("PcapWriter is not open")
+        packet = PcapPacket(timestamp, data)
+        captured = data[: self.snaplen]
+        self._file.write(
+            _RECORD_HEADER.pack(packet.ts_sec, packet.ts_usec, len(captured), len(data))
+        )
+        self._file.write(captured)
+        self.packets_written += 1
+
+    def write_all(self, frames: Iterable[bytes], rate_pps: float = 1000.0) -> int:
+        """Write frames with synthetic timestamps at a constant packet
+        rate; returns the number written."""
+        if rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+        count = 0
+        for i, frame in enumerate(frames):
+            self.write(frame, timestamp=i / rate_pps)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class PcapReader:
+    """Iterate packets from a classic pcap file (either byte order)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.linktype: int | None = None
+        self.snaplen: int | None = None
+
+    def __iter__(self) -> Iterator[PcapPacket]:
+        with open(self.path, "rb") as handle:
+            header = handle.read(_GLOBAL_HEADER.size)
+            if len(header) < _GLOBAL_HEADER.size:
+                raise ValueError(f"{self.path} is not a pcap file (truncated header)")
+            magic = struct.unpack("<I", header[:4])[0]
+            if magic == MAGIC_LE:
+                endian = "<"
+            elif magic == MAGIC_BE:
+                endian = ">"
+            else:
+                raise ValueError(f"{self.path} has unknown pcap magic {magic:#x}")
+            fields = struct.unpack(endian + "IHHiIII", header)
+            self.snaplen, self.linktype = fields[5], fields[6]
+            record = struct.Struct(endian + "IIII")
+            while True:
+                raw = handle.read(record.size)
+                if not raw:
+                    return
+                if len(raw) < record.size:
+                    raise ValueError(f"{self.path} ends mid-record")
+                ts_sec, ts_usec, incl_len, _orig_len = record.unpack(raw)
+                data = handle.read(incl_len)
+                if len(data) < incl_len:
+                    raise ValueError(f"{self.path} ends mid-packet")
+                yield PcapPacket(ts_sec + ts_usec / 1_000_000, data)
+
+    def read_all(self) -> list[PcapPacket]:
+        """Read the whole capture into memory."""
+        return list(self)

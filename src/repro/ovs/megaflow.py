@@ -1,0 +1,178 @@
+"""The megaflow cache: wildcard entries managed over tuple space search.
+
+Adds lifecycle on top of :class:`~repro.ovs.tss.TupleSpaceSearch`:
+installation with a flow limit, per-entry hit/idle accounting, idle
+expiry (the revalidator's 10 s default), and provenance so the defense
+module can attribute mask pressure to a tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.flow.actions import Action
+from repro.flow.fields import FieldSpace
+from repro.flow.key import FlowKey
+from repro.flow.match import FlowMatch
+from repro.ovs.tss import TssLookupResult, TupleSpaceSearch
+
+#: OVS's default datapath flow limit (ovs-vswitchd ``flow-limit``)
+DEFAULT_FLOW_LIMIT = 200_000
+
+#: OVS's default idle timeout for datapath flows, seconds
+DEFAULT_IDLE_TIMEOUT = 10.0
+
+
+@dataclass
+class MegaflowEntry:
+    """One cached megaflow: a wildcard match, its action, and bookkeeping."""
+
+    match: FlowMatch
+    action: Action
+    created_at: float = 0.0
+    last_used: float = 0.0
+    hits: int = 0
+    #: tenant whose policy's classification produced this entry
+    tenant: Optional[str] = None
+    #: False once evicted — lets microflow-cache references detect staleness
+    alive: bool = True
+
+    def touch(self, now: float) -> None:
+        """Record a hit at time ``now``."""
+        self.hits += 1
+        self.last_used = now
+
+    def idle_for(self, now: float) -> float:
+        """Seconds since the last hit (or installation)."""
+        return now - self.last_used
+
+    def __repr__(self) -> str:
+        return f"MegaflowEntry({self.match!r} -> {self.action!r}, hits={self.hits})"
+
+
+class CacheFullError(RuntimeError):
+    """Raised when an insert exceeds the datapath flow limit."""
+
+
+class MegaflowCache:
+    """The wildcard flow cache of the OVS fast path."""
+
+    def __init__(
+        self,
+        space: FieldSpace,
+        flow_limit: int = DEFAULT_FLOW_LIMIT,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        staged: bool = False,
+        scan_order: str = "insertion",
+    ) -> None:
+        self.space = space
+        self.flow_limit = flow_limit
+        self.idle_timeout = idle_timeout
+        self.tss = TupleSpaceSearch(space, staged=staged, scan_order=scan_order)
+        self.inserts = 0
+        self.rejected_inserts = 0
+        self.expired_total = 0
+
+    # -- size --------------------------------------------------------------
+
+    @property
+    def mask_count(self) -> int:
+        """Distinct wildcard masks (TSS subtables) currently cached."""
+        return self.tss.mask_count
+
+    @property
+    def entry_count(self) -> int:
+        """Megaflow entries currently cached."""
+        return self.tss.entry_count
+
+    # -- operations ---------------------------------------------------------
+
+    def lookup(self, key: FlowKey, now: float = 0.0) -> TssLookupResult:
+        """TSS lookup; touches the entry on hit."""
+        result = self.tss.lookup(key)
+        if result.entry is not None:
+            entry: MegaflowEntry = result.entry  # type: ignore[assignment]
+            entry.touch(now)
+        return result
+
+    def insert(
+        self,
+        match: FlowMatch,
+        action: Action,
+        now: float = 0.0,
+        tenant: str | None = None,
+    ) -> MegaflowEntry:
+        """Install a megaflow; raises :class:`CacheFullError` beyond the
+        flow limit.  Re-inserting an identical (mask, key) replaces the
+        old entry, as a datapath flow mod would."""
+        masks = match.mask_signature()
+        masked_values = match.values
+        found = self.tss.find_subtable(masks)
+        existing = found.entries.get(masked_values) if found is not None else None
+        if existing is None and self.entry_count >= self.flow_limit:
+            self.rejected_inserts += 1
+            raise CacheFullError(
+                f"datapath flow limit reached ({self.flow_limit} flows)"
+            )
+        if existing is not None:
+            existing.alive = False
+        subtable = self.tss.get_or_create_subtable(masks)
+        entry = MegaflowEntry(
+            match=match,
+            action=action,
+            created_at=now,
+            last_used=now,
+            tenant=tenant,
+        )
+        subtable.insert(masked_values, entry)
+        self.inserts += 1
+        return entry
+
+    def remove_entry(self, entry: MegaflowEntry) -> None:
+        """Evict one entry."""
+        entry.alive = False
+        self.tss.remove(entry.match.mask_signature(), entry.match.values)
+
+    def expire_idle(self, now: float) -> int:
+        """Evict entries idle for longer than the timeout; returns the
+        eviction count.  This is what forces the attacker to keep the
+        covert stream flowing (and why 1–2 Mbps suffices: refreshing
+        8192 flows within 10 s needs only ~820 pps)."""
+        def is_idle(entry: object) -> bool:
+            megaflow: MegaflowEntry = entry  # type: ignore[assignment]
+            if megaflow.idle_for(now) > self.idle_timeout:
+                megaflow.alive = False
+                return True
+            return False
+
+        removed = self.tss.remove_if(is_idle)
+        self.expired_total += removed
+        return removed
+
+    def evict_tenant(self, tenant: str) -> int:
+        """Evict every entry attributed to a tenant (a defense action)."""
+        def owned(entry: object) -> bool:
+            megaflow: MegaflowEntry = entry  # type: ignore[assignment]
+            if megaflow.tenant == tenant:
+                megaflow.alive = False
+                return True
+            return False
+
+        return self.tss.remove_if(owned)
+
+    def entries(self) -> list[MegaflowEntry]:
+        """All live entries (copy)."""
+        return [entry for _m, _v, entry in self.tss.iter_entries()]  # type: ignore[misc]
+
+    def flush(self) -> None:
+        """Drop the whole cache (``ovs-dpctl del-flows``)."""
+        for entry in self.entries():
+            entry.alive = False
+        self.tss.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MegaflowCache({self.mask_count} masks, {self.entry_count}/"
+            f"{self.flow_limit} entries)"
+        )

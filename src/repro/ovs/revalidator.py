@@ -1,0 +1,50 @@
+"""The revalidator: periodic eviction of idle datapath flows.
+
+ovs-vswitchd's revalidator threads sweep the datapath roughly twice per
+second, deleting flows idle longer than ``max-idle`` (10 s by default).
+The attack must outpace this reaper: the covert stream refreshes each of
+its megaflows at least once per idle window, which is precisely why the
+paper's 1–2 Mbps stream suffices (8192 flows / 10 s ≈ 820 pps).
+"""
+
+from __future__ import annotations
+
+from repro.ovs.megaflow import MegaflowCache
+from repro.ovs.microflow import MicroflowCache
+
+DEFAULT_SWEEP_INTERVAL = 0.5
+
+
+class Revalidator:
+    """Sweeps idle megaflows and purges stale microflow references."""
+
+    def __init__(
+        self,
+        cache: MegaflowCache,
+        microflow: MicroflowCache | None = None,
+        sweep_interval: float = DEFAULT_SWEEP_INTERVAL,
+    ) -> None:
+        if sweep_interval <= 0:
+            raise ValueError("sweep_interval must be positive")
+        self.cache = cache
+        self.microflow = microflow
+        self.sweep_interval = sweep_interval
+        self.last_sweep = 0.0
+        self.sweeps = 0
+        self.evicted_total = 0
+
+    def maybe_sweep(self, now: float) -> int:
+        """Run a sweep if the interval has elapsed; returns evictions."""
+        if now - self.last_sweep < self.sweep_interval:
+            return 0
+        return self.sweep(now)
+
+    def sweep(self, now: float) -> int:
+        """Unconditionally evict idle megaflows (and clean the EMC)."""
+        self.last_sweep = now
+        self.sweeps += 1
+        evicted = self.cache.expire_idle(now)
+        self.evicted_total += evicted
+        if evicted and self.microflow is not None:
+            self.microflow.invalidate_dead()
+        return evicted

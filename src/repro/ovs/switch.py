@@ -1,0 +1,233 @@
+"""The OVS switch façade: the full fast-path/slow-path pipeline.
+
+``process()`` runs one packet through the paper's Section 2 pipeline:
+
+1. **microflow cache** (exact match over all header fields);
+2. **megaflow cache** (tuple space search — the sequential scan whose
+   cost the attack inflates);
+3. **slow path** (full flow-table classification + megaflow install).
+
+Every result carries its cost accounting (which path served it, how
+many subtables the TSS scan visited) so the performance layer can map
+it to cycles, and the experiment harness can reproduce the paper's
+throughput series without instrumenting the internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.flow.actions import Action
+from repro.flow.fields import OVS_FIELDS, FieldSpace
+from repro.flow.key import FlowKey
+from repro.flow.rule import FlowRule
+from repro.flow.table import FlowTable
+from repro.net.layers import Layer
+from repro.flow.extract import flow_key_from_packet
+from repro.ovs.megaflow import (
+    DEFAULT_FLOW_LIMIT,
+    DEFAULT_IDLE_TIMEOUT,
+    MegaflowCache,
+    MegaflowEntry,
+)
+from repro.ovs.microflow import MicroflowCache
+from repro.ovs.revalidator import Revalidator
+from repro.ovs.stats import SwitchStats
+from repro.ovs.upcall import InstallGuard, SlowPath
+from repro.util.rng import DeterministicRng
+
+
+class LookupPath(enum.Enum):
+    """Which layer of the pipeline served a packet."""
+
+    MICROFLOW = "microflow"
+    MEGAFLOW = "megaflow"
+    UPCALL = "upcall"
+
+
+@dataclass
+class PacketResult:
+    """Outcome and cost accounting for one processed packet."""
+
+    action: Action
+    path: LookupPath
+    #: subtables visited by the TSS scan (0 on a microflow hit)
+    tuples_scanned: int
+    #: hash probes performed by the TSS scan
+    hash_probes: int
+    #: the megaflow serving or installed for this packet, if any
+    entry: Optional[MegaflowEntry]
+    #: True when installation was skipped (guard veto / flow limit)
+    install_skipped: bool = False
+
+    @property
+    def forwarded(self) -> bool:
+        return self.action.is_forwarding()
+
+
+class OvsSwitch:
+    """One hypervisor switch instance (one per server node in Fig. 1)."""
+
+    def __init__(
+        self,
+        space: FieldSpace = OVS_FIELDS,
+        name: str = "ovs",
+        flow_limit: int = DEFAULT_FLOW_LIMIT,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        emc_entries: int = 8192,
+        emc_ways: int = 2,
+        emc_insertion_prob: float = 1.0,
+        staged_lookup: bool = False,
+        scan_order: str = "insertion",
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        self.name = name
+        self.space = space
+        self.table = FlowTable(space, name=f"{name}-table0")
+        self.megaflow = MegaflowCache(
+            space,
+            flow_limit=flow_limit,
+            idle_timeout=idle_timeout,
+            staged=staged_lookup,
+            scan_order=scan_order,
+        )
+        self.microflow = MicroflowCache(
+            entries=emc_entries,
+            ways=emc_ways,
+            insertion_prob=emc_insertion_prob,
+            rng=(rng or DeterministicRng(0)).fork("emc"),
+        )
+        self.slow_path = SlowPath(self.table, self.megaflow)
+        self.revalidator = Revalidator(self.megaflow, self.microflow)
+        self.stats = SwitchStats()
+        self.clock = 0.0
+
+    # -- configuration -----------------------------------------------------
+
+    def add_rule(self, rule: FlowRule) -> FlowRule:
+        """Install a slow-path rule.  Rule changes invalidate the caches
+        (OVS revalidates; we flush, which is the conservative model)."""
+        added = self.table.add(rule)
+        self.invalidate_caches()
+        return added
+
+    def add_rules(self, rules: list[FlowRule]) -> None:
+        """Install several slow-path rules with a single invalidation."""
+        for rule in rules:
+            self.table.add(rule)
+        self.invalidate_caches()
+
+    def remove_tenant_rules(self, tenant: str) -> int:
+        """Remove every rule a tenant's policies installed."""
+        removed = self.table.remove_if(lambda rule: rule.tenant == tenant)
+        if removed:
+            self.invalidate_caches()
+        return removed
+
+    def add_install_guard(self, guard: InstallGuard) -> None:
+        """Attach a defense hook to megaflow installation."""
+        self.slow_path.add_guard(guard)
+
+    def invalidate_caches(self) -> None:
+        """Flush both cache layers (slow-path rule set changed)."""
+        self.megaflow.flush()
+        self.microflow.flush()
+
+    # -- datapath ----------------------------------------------------------
+
+    def process(self, key_or_packet: FlowKey | Layer | bytes,
+                in_port: int = 0, now: float | None = None) -> PacketResult:
+        """Run one packet (or pre-extracted key) through the pipeline."""
+        if isinstance(key_or_packet, FlowKey):
+            key = key_or_packet
+        else:
+            key = flow_key_from_packet(key_or_packet, in_port=in_port, space=self.space)
+        if now is None:
+            now = self.clock
+        else:
+            self.clock = now
+
+        self.stats.packets += 1
+        self.revalidator.maybe_sweep(now)
+
+        # layer 1: microflow cache
+        entry = self.microflow.lookup(key, now)
+        if entry is not None:
+            entry.touch(now)
+            result = PacketResult(
+                action=entry.action,
+                path=LookupPath.MICROFLOW,
+                tuples_scanned=0,
+                hash_probes=0,
+                entry=entry,
+            )
+            self.stats.emc_hits += 1
+            self._account(result)
+            return result
+
+        # layer 2: megaflow cache (TSS)
+        tss_result = self.megaflow.lookup(key, now)
+        if tss_result.hit:
+            megaflow_entry: MegaflowEntry = tss_result.entry  # type: ignore[assignment]
+            self.microflow.insert(key, megaflow_entry, now)
+            result = PacketResult(
+                action=megaflow_entry.action,
+                path=LookupPath.MEGAFLOW,
+                tuples_scanned=tss_result.tuples_scanned,
+                hash_probes=tss_result.hash_probes,
+                entry=megaflow_entry,
+            )
+            self.stats.megaflow_hits += 1
+            self.stats.record_scan(result.tuples_scanned, result.hash_probes)
+            self._account(result)
+            return result
+
+        # layer 3: slow path upcall
+        upcall = self.slow_path.handle(key, now)
+        if upcall.installed is not None:
+            self.microflow.insert(key, upcall.installed, now)
+        result = PacketResult(
+            action=upcall.action,
+            path=LookupPath.UPCALL,
+            tuples_scanned=tss_result.tuples_scanned,
+            hash_probes=tss_result.hash_probes,
+            entry=upcall.installed,
+            install_skipped=upcall.install_skipped is not None,
+        )
+        self.stats.upcalls += 1
+        if upcall.install_skipped is not None:
+            self.stats.upcalls_rejected += 1
+        self.stats.record_scan(result.tuples_scanned, result.hash_probes)
+        self._account(result)
+        return result
+
+    def _account(self, result: PacketResult) -> None:
+        if result.forwarded:
+            self.stats.forwarded += 1
+        else:
+            self.stats.drops += 1
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def mask_count(self) -> int:
+        """Distinct megaflow masks (Fig. 3's right axis)."""
+        return self.megaflow.mask_count
+
+    @property
+    def megaflow_count(self) -> int:
+        """Cached megaflow entries."""
+        return self.megaflow.entry_count
+
+    def advance_clock(self, now: float) -> None:
+        """Move time forward (runs due revalidator sweeps)."""
+        self.clock = now
+        self.revalidator.maybe_sweep(now)
+
+    def __repr__(self) -> str:
+        return (
+            f"OvsSwitch({self.name}: {len(self.table)} rules, "
+            f"{self.mask_count} masks, {self.megaflow_count} megaflows)"
+        )

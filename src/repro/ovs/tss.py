@@ -1,0 +1,281 @@
+"""Tuple Space Search — the megaflow cache's lookup structure.
+
+"entries matching on the same header fields are collected into a hash in
+which masked packet headers can be found fast. [...] even if hash lookup
+is O(1), the TSS algorithm still has to iterate through all hashes
+assigned to different masks, rendering TSS a costly linear search when
+there are lots of masks."  — the paper, Section 2.
+
+This module implements exactly that structure: a :class:`Subtable` per
+distinct mask, holding a Python dict from masked key tuples to entries,
+and a :class:`TupleSpaceSearch` that scans the subtables sequentially.
+The scan cost (``tuples_scanned``, ``hash_probes``) is reported on every
+lookup so the complexity attack is *measurable*, and because the scan is
+a real linear search over real hash tables the wall-clock benchmarks in
+``benchmarks/bench_tss_linear_scan.py`` reproduce the linear blow-up
+directly.
+
+The optional *staged lookup* models the OVS optimisation of the same
+name: each subtable's mask is split into stages (metadata / L2 / L3 /
+L4) and a per-stage index lets the scan abandon a subtable early.  It
+reduces hash-probe work per subtable but does **not** reduce the number
+of subtables visited — which is why it does not stop the attack (an
+ablation benchmark shows this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.flow.fields import FieldSpace
+from repro.flow.key import FlowKey
+
+#: default stage boundaries (field name prefixes per stage) mirroring
+#: OVS's metadata / L2 / L3 / L4 staging
+DEFAULT_STAGES: tuple[tuple[str, ...], ...] = (
+    ("in_port",),
+    ("eth_type", "eth_src", "eth_dst"),
+    ("ip_src", "ip_dst", "ip_proto", "ip_tos"),
+    ("tp_src", "tp_dst"),
+)
+
+
+@dataclass
+class TssLookupResult:
+    """One TSS lookup's outcome and its cost accounting."""
+
+    entry: Optional[object]
+    #: subtables visited before (and including) the hit, or all on miss
+    tuples_scanned: int
+    #: individual hash-table probes performed (≥1 per subtable visited
+    #: without staging; possibly fewer aborts with staging)
+    hash_probes: int
+
+    @property
+    def hit(self) -> bool:
+        return self.entry is not None
+
+
+class Subtable:
+    """All megaflow entries sharing one wildcard mask."""
+
+    __slots__ = ("masks", "entries", "hits", "created_seq", "_stage_index", "_stage_plan")
+
+    def __init__(
+        self,
+        masks: tuple[int, ...],
+        created_seq: int,
+        stage_plan: tuple[tuple[int, ...], ...] | None = None,
+    ) -> None:
+        self.masks = masks
+        self.entries: dict[tuple[int, ...], object] = {}
+        self.hits = 0
+        self.created_seq = created_seq
+        self._stage_plan = stage_plan
+        # per-stage set of partial masked keys, rebuilt incrementally;
+        # only allocated when staged lookup is enabled
+        self._stage_index: list[set[tuple[int, ...]]] | None = (
+            [set() for _ in stage_plan] if stage_plan else None
+        )
+
+    def mask_key(self, key_values: tuple[int, ...]) -> tuple[int, ...]:
+        """Mask a flow key's values down to this subtable's mask."""
+        return tuple(v & m for v, m in zip(key_values, self.masks))
+
+    def insert(self, masked_values: tuple[int, ...], entry: object) -> None:
+        """Add or replace the entry stored under ``masked_values``."""
+        self.entries[masked_values] = entry
+        if self._stage_index is not None and self._stage_plan is not None:
+            for stage, indices in enumerate(self._stage_plan):
+                partial = tuple(masked_values[i] for i in indices)
+                self._stage_index[stage].add(partial)
+
+    def remove(self, masked_values: tuple[int, ...]) -> None:
+        """Remove an entry; stage indexes are rebuilt lazily on next use."""
+        del self.entries[masked_values]
+        if self._stage_index is not None and self._stage_plan is not None:
+            self._rebuild_stage_index()
+
+    def _rebuild_stage_index(self) -> None:
+        assert self._stage_index is not None and self._stage_plan is not None
+        for stage, indices in enumerate(self._stage_plan):
+            self._stage_index[stage] = {
+                tuple(masked[i] for i in indices) for masked in self.entries
+            }
+
+    def lookup_staged(self, masked_values: tuple[int, ...]) -> tuple[object | None, int]:
+        """Staged probe: returns ``(entry, probes_used)``; aborts at the
+        first stage whose partial key has no entries."""
+        if self._stage_index is None or self._stage_plan is None:
+            entry = self.entries.get(masked_values)
+            return entry, 1
+        probes = 0
+        for stage, indices in enumerate(self._stage_plan):
+            probes += 1
+            partial = tuple(masked_values[i] for i in indices)
+            if partial not in self._stage_index[stage]:
+                return None, probes
+        return self.entries.get(masked_values), probes
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"Subtable(mask={self.masks}, {len(self.entries)} entries, {self.hits} hits)"
+
+
+class TupleSpaceSearch:
+    """The sequential-scan tuple space: insertion-ordered subtables.
+
+    ``scan_order`` controls how subtables are visited:
+
+    * ``"insertion"`` (default) — the order masks were first created,
+      matching the kernel datapath's mask array;
+    * ``"hits"`` — most-hit subtables first, modelling the netdev
+      datapath's periodic subtable re-sorting.  Exposed because it is a
+      natural (insufficient) mitigation candidate: the attacker's covert
+      stream also generates hits, so re-sorting does not save the victim.
+    """
+
+    def __init__(
+        self,
+        space: FieldSpace,
+        staged: bool = False,
+        scan_order: str = "insertion",
+    ) -> None:
+        if scan_order not in ("insertion", "hits"):
+            raise ValueError(f"unknown scan_order {scan_order!r}")
+        self.space = space
+        self.staged = staged
+        self.scan_order = scan_order
+        self._subtables: dict[tuple[int, ...], Subtable] = {}
+        self._next_seq = 0
+        self._stage_plan = self._build_stage_plan() if staged else None
+        # lookup statistics (cumulative)
+        self.total_lookups = 0
+        self.total_tuples_scanned = 0
+        self.total_hash_probes = 0
+
+    def _build_stage_plan(self) -> tuple[tuple[int, ...], ...]:
+        """Map DEFAULT_STAGES onto this field space (skipping stages with
+        no fields present)."""
+        plan: list[tuple[int, ...]] = []
+        covered: set[int] = set()
+        for stage_fields in DEFAULT_STAGES:
+            indices = tuple(
+                self.space.index_of(name) for name in stage_fields if name in self.space
+            )
+            if indices:
+                plan.append(indices)
+                covered.update(indices)
+        leftovers = tuple(i for i in range(len(self.space)) if i not in covered)
+        if leftovers:
+            plan.append(leftovers)
+        return tuple(plan)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def mask_count(self) -> int:
+        """Number of distinct masks — the attack's blow-up target and the
+        quantity on Fig. 3's right axis."""
+        return len(self._subtables)
+
+    @property
+    def entry_count(self) -> int:
+        """Total megaflow entries across all subtables."""
+        return sum(len(subtable) for subtable in self._subtables.values())
+
+    def subtables(self) -> list[Subtable]:
+        """Subtables in the current scan order."""
+        tables = list(self._subtables.values())
+        if self.scan_order == "hits":
+            tables.sort(key=lambda s: (-s.hits, s.created_seq))
+        return tables
+
+    def find_subtable(self, masks: tuple[int, ...]) -> Subtable | None:
+        """The subtable for a mask, or ``None`` when absent."""
+        return self._subtables.get(masks)
+
+    def get_or_create_subtable(self, masks: tuple[int, ...]) -> Subtable:
+        """The subtable for a mask, creating it on first use."""
+        subtable = self._subtables.get(masks)
+        if subtable is None:
+            subtable = Subtable(masks, self._next_seq, self._stage_plan)
+            self._next_seq += 1
+            self._subtables[masks] = subtable
+        return subtable
+
+    def insert(self, masks: tuple[int, ...], masked_values: tuple[int, ...],
+               entry: object) -> None:
+        """Insert an entry under its mask's subtable."""
+        self.get_or_create_subtable(masks).insert(masked_values, entry)
+
+    def remove(self, masks: tuple[int, ...], masked_values: tuple[int, ...]) -> None:
+        """Remove an entry; empty subtables disappear (as OVS destroys
+        empty subtables, shrinking the scan)."""
+        subtable = self._subtables.get(masks)
+        if subtable is None:
+            raise KeyError(f"no subtable for mask {masks}")
+        subtable.remove(masked_values)
+        if not subtable.entries:
+            del self._subtables[masks]
+
+    def clear(self) -> None:
+        """Drop every subtable."""
+        self._subtables.clear()
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, key: FlowKey) -> TssLookupResult:
+        """Sequentially scan subtables for the first matching entry.
+
+        OVS guarantees megaflows are non-overlapping, so "first match"
+        and "only match" coincide; the scan order merely affects cost.
+        """
+        key_values = key.values
+        tuples_scanned = 0
+        hash_probes = 0
+        for subtable in self.subtables():
+            tuples_scanned += 1
+            masked = subtable.mask_key(key_values)
+            if self.staged:
+                entry, probes = subtable.lookup_staged(masked)
+                hash_probes += probes
+            else:
+                entry = subtable.entries.get(masked)
+                hash_probes += 1
+            if entry is not None:
+                subtable.hits += 1
+                self._account(tuples_scanned, hash_probes)
+                return TssLookupResult(entry, tuples_scanned, hash_probes)
+        self._account(tuples_scanned, hash_probes)
+        return TssLookupResult(None, tuples_scanned, hash_probes)
+
+    def _account(self, tuples_scanned: int, hash_probes: int) -> None:
+        self.total_lookups += 1
+        self.total_tuples_scanned += tuples_scanned
+        self.total_hash_probes += hash_probes
+
+    def iter_entries(self) -> Iterator[tuple[tuple[int, ...], tuple[int, ...], object]]:
+        """Iterate ``(masks, masked_values, entry)`` over the whole space."""
+        for masks, subtable in self._subtables.items():
+            for masked_values, entry in subtable.entries.items():
+                yield masks, masked_values, entry
+
+    def remove_if(self, predicate: Callable[[object], bool]) -> int:
+        """Remove entries matching a predicate; returns the count."""
+        doomed: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        for masks, masked_values, entry in self.iter_entries():
+            if predicate(entry):
+                doomed.append((masks, masked_values))
+        for masks, masked_values in doomed:
+            self.remove(masks, masked_values)
+        return len(doomed)
+
+    def __repr__(self) -> str:
+        return (
+            f"TupleSpaceSearch({self.mask_count} masks, {self.entry_count} entries, "
+            f"staged={self.staged})"
+        )

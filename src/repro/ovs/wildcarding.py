@@ -1,0 +1,183 @@
+"""Slow-path classification with megaflow generation.
+
+This module is the algorithmic core of the reproduction: it implements
+the OVS strategy the paper describes as "OVS in particular tries to
+wildcard as many bits as possible to get the broadest possible rules",
+and it is calibrated to reproduce Fig. 2b *bit-exactly* and the paper's
+mask counts (8 / 512 / 8192) *combinatorially exactly*.
+
+Model
+-----
+The slow path looks a packet up in the flow table in (priority desc,
+insertion asc) order.  While doing so it tracks, per header field, how
+many most-significant bits of the packet's value it had to examine —
+OVS's prefix-trie / staged-lookup machinery makes this prefix-shaped per
+field.  The rules are:
+
+* For every rule *examined* (all rules up to and including the winner),
+  constrained fields are checked in the canonical field order.
+* A field the packet **satisfies** must be confirmed over the rule's
+  whole mask: the prefix covering every set mask bit is un-wildcarded
+  (for the exact-match allow rules of the paper's ACLs this is the full
+  field).
+* The first field the packet **fails** contributes a *witness*: the
+  prefix up to and including the first differing bit inside the rule's
+  mask.  Checking stops there for that rule — later fields of a
+  mismatched rule are not examined and contribute nothing.
+* ``always_exact`` metadata fields (``in_port``) are materialised fully
+  whenever any examined rule constrains them.
+
+The resulting megaflow is the packet's values masked to those per-field
+prefixes.  Two consequences matter for the attack:
+
+* a single-field exact allow rule over a ``w``-bit field yields exactly
+  ``w`` distinct deny masks (prefix lengths 1..w) — Fig. 2b's 8 rows;
+* rules on *different* fields are witnessed independently, so a packet
+  denied by ``k`` single-field allow rules gets a mask combining one
+  witness prefix per field — the reachable deny-mask space is the
+  *product* of the fields' widths: 32 × 16 = 512 for ip_src + tp_dst,
+  32 × 16 × 16 = 8192 with tp_src (the paper's headline counts).
+
+Correctness invariant (property-tested): every packet that matches a
+generated megaflow receives the same winning rule as a full slow-path
+lookup would give it.  Sketch: a packet agreeing with the original on
+every un-wildcarded prefix agrees on every confirmed field (so still
+matches the rules the original matched) and agrees up to each witness
+bit (so still fails the rules the original failed, at the same field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.fields import FieldSpace
+from repro.flow.key import FlowKey
+from repro.flow.match import FlowMatch
+from repro.flow.rule import FlowRule
+from repro.flow.table import FlowTable
+from repro.util.bits import first_diff_bit, mask_of_prefix
+
+
+def prefix_cover_len(mask: int, width: int) -> int:
+    """The shortest prefix length covering every set bit of ``mask``.
+
+    For the CIDR-style masks the CMS compilers emit this is exactly the
+    prefix length; for arbitrary masks it is a conservative cover (all
+    bits down to the least significant set bit).
+    """
+    if mask == 0:
+        return 0
+    # number of trailing zero bits of the mask
+    trailing = (mask & -mask).bit_length() - 1
+    return width - trailing
+
+
+@dataclass
+class WildcardingResult:
+    """Outcome of one slow-path classification.
+
+    ``megaflow`` is the cacheable wildcard entry; ``rule`` is the winner
+    (``None`` on a table miss); ``rules_examined`` counts the linear-scan
+    work the slow path performed (the "exponential in the worst case"
+    cost the paper cites motivates keeping this observable).
+    """
+
+    rule: FlowRule | None
+    megaflow: FlowMatch
+    rules_examined: int
+
+    @property
+    def prefix_lens(self) -> tuple[int, ...]:
+        """Per-field un-wildcarded prefix lengths of the megaflow."""
+        space = self.megaflow.space
+        return tuple(
+            prefix_cover_len(mask, spec.width)
+            for mask, spec in zip(self.megaflow.masks, space.specs)
+        )
+
+
+def classify_with_wildcards(table: FlowTable, key: FlowKey) -> WildcardingResult:
+    """Classify ``key`` against ``table`` and build the broadest megaflow
+    that preserves the classification decision (see module docstring)."""
+    space: FieldSpace = table.space
+    field_count = len(space)
+    prefix_lens = [0] * field_count
+
+    winner: FlowRule | None = None
+    examined = 0
+    for rule in table:
+        examined += 1
+        matched = _examine_rule(rule, key, prefix_lens, space)
+        if matched:
+            winner = rule
+            break
+
+    masks = tuple(
+        mask_of_prefix(prefix_lens[i], space.specs[i].width)
+        for i in range(field_count)
+    )
+    megaflow = FlowMatch.from_tuples(space, key.values, masks)
+    return WildcardingResult(rule=winner, megaflow=megaflow, rules_examined=examined)
+
+
+def _examine_rule(
+    rule: FlowRule,
+    key: FlowKey,
+    prefix_lens: list[int],
+    space: FieldSpace,
+) -> bool:
+    """Check ``rule`` field by field, accumulating un-wildcarding into
+    ``prefix_lens``.  Returns True when the rule matches the key."""
+    for index, spec in enumerate(space.specs):
+        mask = rule.match.masks[index]
+        if mask == 0:
+            continue
+        value = rule.match.values[index]
+        key_value = key.values[index]
+        if key_value & mask == value:
+            # confirmed: the whole constrained prefix must appear in the
+            # megaflow, else a cached packet could differ inside it
+            needed = spec.width if spec.always_exact else prefix_cover_len(mask, spec.width)
+            if needed > prefix_lens[index]:
+                prefix_lens[index] = needed
+        else:
+            # witness: the first differing bit inside the rule's mask
+            # proves the mismatch; the megaflow needs the prefix up to it
+            diff = first_diff_bit(key_value & mask, value, spec.width)
+            assert diff is not None  # a mismatch guarantees a differing bit
+            needed = spec.width if spec.always_exact else diff + 1
+            if needed > prefix_lens[index]:
+                prefix_lens[index] = needed
+            return False
+    return True
+
+
+def megaflow_table_rows(
+    table: FlowTable,
+    keys: list[FlowKey],
+) -> list[tuple[str, str, str]]:
+    """Render the (key, mask, action) rows that classifying ``keys``
+    would install — the exact format of the paper's Fig. 2b.
+
+    Rows are deduplicated by (masked key, mask) and reported in the
+    order first produced.  Single-field spaces render as plain binary
+    strings; wider spaces join fields with ``,``.
+    """
+    rows: list[tuple[str, str, str]] = []
+    seen: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
+    for key in keys:
+        result = classify_with_wildcards(table, key)
+        identity = (result.megaflow.values, result.megaflow.masks)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        space = table.space
+        key_text = ",".join(
+            spec.format(value) for spec, value in zip(space.specs, result.megaflow.values)
+        )
+        mask_text = ",".join(
+            spec.format(mask) for spec, mask in zip(space.specs, result.megaflow.masks)
+        )
+        action = result.rule.action.kind if result.rule else "miss"
+        rows.append((key_text, mask_text, action))
+    return rows

@@ -1,0 +1,52 @@
+"""Build :class:`~repro.ovs.switch.OvsSwitch` instances from datapath
+profiles (kernel vs netdev) so experiments pick a flavour by name."""
+
+from __future__ import annotations
+
+from repro.flow.fields import OVS_FIELDS, FieldSpace
+from repro.ovs.switch import OvsSwitch
+from repro.perf.costmodel import KERNEL_PROFILE, NETDEV_PROFILE, DatapathProfile
+from repro.util.rng import DeterministicRng
+
+_PROFILES = {
+    "kernel": KERNEL_PROFILE,
+    "netdev": NETDEV_PROFILE,
+}
+
+
+def profile_by_name(name: str) -> DatapathProfile:
+    """Look up a built-in datapath profile."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None
+
+
+def switch_for_profile(
+    profile: DatapathProfile | str,
+    space: FieldSpace = OVS_FIELDS,
+    name: str | None = None,
+    staged_lookup: bool = False,
+    seed: int = 0,
+) -> OvsSwitch:
+    """Instantiate a switch configured per a datapath profile.
+
+    Fig. 3's Kubernetes setting is the ``kernel`` profile (small
+    per-CPU exact-match cache); ``netdev`` models the userspace/DPDK
+    datapath with its 8192-entry EMC.
+    """
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    return OvsSwitch(
+        space=space,
+        name=name or f"ovs-{profile.name}",
+        flow_limit=profile.flow_limit,
+        idle_timeout=profile.idle_timeout,
+        emc_entries=profile.emc_entries,
+        emc_ways=profile.emc_ways,
+        emc_insertion_prob=profile.emc_insertion_prob,
+        staged_lookup=staged_lookup,
+        rng=DeterministicRng(seed),
+    )

@@ -1,0 +1,263 @@
+"""Discrete-time simulation of one hypervisor switch under attack.
+
+Hybrid fidelity (see the package docstring): the covert stream and a set
+of representative victim flows run through a **real**
+:class:`~repro.ovs.switch.OvsSwitch` — so mask counts, megaflow expiry,
+flow limits and defense guards behave exactly as implemented — while the
+victim's *aggregate* cost is evaluated analytically from the cost model
+each tick (simulating 83 kpps packet-by-packet in Python would be
+prohibitively slow and adds no information: within a tick every victim
+packet sees the same cache state).
+
+The victim's achievable throughput each tick is::
+
+    available = cpu_hz − attacker_cycles − revalidator_cycles
+    capacity  = available / avg_victim_cost(masks, emc_hit_rate)
+    achieved  = min(offered, capacity)
+
+which yields Fig. 3's cliff when the mask count jumps from a handful to
+8192 at t = 60 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.flow.key import FlowKey
+from repro.ovs.megaflow import MegaflowEntry
+from repro.ovs.switch import OvsSwitch
+from repro.perf.costmodel import CostModel
+from repro.perf.series import TimeSeries, Window
+from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.util.rng import DeterministicRng
+
+#: revalidator sweeps per second (ovs-vswitchd sweeps roughly every 500 ms)
+REVALIDATOR_SWEEPS_PER_SEC = 2.0
+
+#: upper bound on per-packet EMC locality even for a cache big enough to
+#: hold every flow (hash collisions, cold starts)
+EMC_MAX_LOCALITY = 0.98
+
+#: an event mutating the switch at a given time (e.g. policy injection)
+SimEvent = tuple[float, Callable[[OvsSwitch], None]]
+
+
+@dataclass
+class SimulationResult:
+    """The output of one simulation run."""
+
+    series: TimeSeries
+    switch: OvsSwitch
+    victim: VictimWorkload
+    attacker: AttackerWorkload | None
+
+    def peak_throughput_bps(self) -> float:
+        """Best victim throughput observed (the pre-attack plateau)."""
+        return self.series.maximum("victim_throughput_bps")
+
+    def pre_attack_mean_bps(self) -> float:
+        """Mean victim throughput before the covert stream starts."""
+        start = self.attacker.start_time if self.attacker else float("inf")
+        return self.series.mean("victim_throughput_bps", Window(0.0, start))
+
+    def post_attack_mean_bps(self, settle: float = 10.0) -> float:
+        """Mean victim throughput after the attack has settled."""
+        if self.attacker is None:
+            raise ValueError("no attacker in this simulation")
+        begin = self.attacker.start_time + settle
+        end = self.series.column("t")[-1] + 1.0
+        return self.series.mean("victim_throughput_bps", Window(begin, end))
+
+    def degradation(self, settle: float = 10.0) -> float:
+        """Post-attack mean as a fraction of the pre-attack mean."""
+        return self.post_attack_mean_bps(settle) / self.pre_attack_mean_bps()
+
+    def final_mask_count(self) -> int:
+        """Megaflow masks at the end of the run."""
+        return int(self.series.last("masks"))
+
+
+class DataplaneSimulator:
+    """Ticks a switch + workloads forward and records the time series."""
+
+    def __init__(
+        self,
+        switch: OvsSwitch,
+        cost_model: CostModel,
+        victim: VictimWorkload,
+        attacker: AttackerWorkload | None = None,
+        covert_keys: Sequence[FlowKey] | None = None,
+        victim_keys: Sequence[FlowKey] | None = None,
+        events: Sequence[SimEvent] = (),
+        duration: float = 150.0,
+        dt: float = 1.0,
+        noise: float = 0.0,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        if attacker is not None and not covert_keys:
+            raise ValueError("an attacker workload needs covert_keys")
+        if dt <= 0 or duration <= 0:
+            raise ValueError("duration and dt must be positive")
+        self.switch = switch
+        self.cost_model = cost_model
+        self.victim = victim
+        self.attacker = attacker
+        self.covert_keys = list(covert_keys or [])
+        self.victim_keys = list(victim_keys or [])
+        self.events = sorted(events, key=lambda e: e[0])
+        self.duration = duration
+        self.dt = dt
+        self.noise = noise
+        self.rng = rng or DeterministicRng(7)
+        # covert stream cursor and key -> live entry map (refresh fast path)
+        self._covert_cursor = 0
+        self._attacker_entries: dict[FlowKey, MegaflowEntry] = {}
+        self._victim_entries: dict[FlowKey, MegaflowEntry] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _run_events(self, t0: float, t1: float) -> None:
+        for when, action in self.events:
+            if t0 <= when < t1:
+                action(self.switch)
+                # a slow-path change flushes caches; cached refs are stale
+                self._attacker_entries.clear()
+                self._victim_entries.clear()
+
+    def _refresh_victim_flows(self, now: float) -> None:
+        """Keep the representative victim flows installed and hot (the
+        real victim aggregate never goes idle)."""
+        for key in self.victim_keys:
+            entry = self._victim_entries.get(key)
+            if entry is not None and entry.alive:
+                entry.touch(now)
+            else:
+                result = self.switch.process(key, now=now)
+                if result.entry is not None:
+                    self._victim_entries[key] = result.entry
+
+    def _send_covert(self, t0: float, t1: float) -> tuple[int, float]:
+        """Send the covert packets due in [t0, t1); returns
+        ``(packets_sent, attacker_cycles)``.
+
+        Packets whose megaflow is already installed only refresh it
+        (entry touch) and are charged the expected megaflow-hit cost.
+        Packets without one are *known* cache misses (the attacker
+        constructs pairwise-distinct covert keys), so instead of paying
+        for a full TSS miss scan in Python they go straight to the real
+        slow path — which performs the genuine classification and
+        megaflow installation — while the skipped scan is charged
+        through the cost model.  Cache state is identical either way
+        (a TSS miss mutates nothing), only Python time differs.
+        """
+        if self.attacker is None or not self.covert_keys:
+            return 0, 0.0
+        due = self.attacker.packets_due(t0, t1)
+        if due <= 0:
+            return 0, 0.0
+        cycles = 0.0
+        n_keys = len(self.covert_keys)
+        mid = t0 + (t1 - t0) / 2
+        for _ in range(due):
+            key = self.covert_keys[self._covert_cursor % n_keys]
+            self._covert_cursor += 1
+            entry = self._attacker_entries.get(key)
+            if entry is not None and entry.alive:
+                entry.touch(t1)
+                cycles += self.cost_model.expected_megaflow_hit_cost(
+                    self.switch.mask_count
+                )
+            else:
+                upcall = self.switch.slow_path.handle(key, now=mid)
+                if upcall.installed is not None:
+                    self._attacker_entries[key] = upcall.installed
+                cycles += self.cost_model.miss_cost(
+                    self.switch.mask_count,
+                    rules_examined=len(self.switch.table),
+                )
+        return due, cycles
+
+    def _emc_hit_rate(self, attack_active: bool) -> float:
+        """Capacity-competition model of the exact-match layer: with far
+        more live flows than cache entries, per-packet locality caps at
+        entries/flows (each flow's entry is evicted before its next
+        packet arrives, on average)."""
+        active_flows = self.victim.concurrent_flows
+        if attack_active:
+            active_flows += len(self._attacker_entries)
+        if active_flows <= 0:
+            return EMC_MAX_LOCALITY
+        capacity = self.switch.microflow.capacity
+        return EMC_MAX_LOCALITY * min(1.0, capacity / active_flows)
+
+    def _victim_avg_cost(self, emc_hit_rate: float) -> float:
+        """Expected per-packet cycles for the victim aggregate."""
+        masks = self.switch.mask_count
+        staged = self.switch.megaflow.tss.staged
+        f_new = self.victim.miss_fraction
+        hit_cost = (
+            emc_hit_rate * self.cost_model.emc_hit_cost()
+            + (1.0 - emc_hit_rate)
+            * self.cost_model.expected_megaflow_hit_cost(masks, staged)
+        )
+        miss_cost = self.cost_model.miss_cost(
+            masks, rules_examined=max(len(self.switch.table), 1), staged=staged
+        )
+        return f_new * miss_cost + (1.0 - f_new) * hit_cost
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its time series."""
+        series = TimeSeries(
+            columns=[
+                "t",
+                "victim_throughput_bps",
+                "victim_capacity_bps",
+                "masks",
+                "megaflows",
+                "emc_hit_rate",
+                "victim_avg_cycles",
+                "attacker_pps",
+                "attacker_cycles",
+            ]
+        )
+        t = 0.0
+        while t < self.duration:
+            t_next = t + self.dt
+            self._run_events(t, t_next)
+            self._refresh_victim_flows(t_next)
+            sent, attacker_cycles = self._send_covert(t, t_next)
+            self.switch.advance_clock(t_next)
+
+            attack_active = self.attacker is not None and self.attacker.active_at(t)
+            emc_hit_rate = self._emc_hit_rate(attack_active)
+            avg_cost = self._victim_avg_cost(emc_hit_rate)
+
+            reval_cycles = (
+                self.switch.megaflow_count
+                * self.cost_model.cycles_revalidate_flow
+                * REVALIDATOR_SWEEPS_PER_SEC
+            )
+            attacker_cycles_per_sec = attacker_cycles / self.dt
+            available = self.cost_model.cpu_hz - attacker_cycles_per_sec - reval_cycles
+            capacity_pps = self.cost_model.capacity_pps(avg_cost, available)
+            achieved_pps = min(self.victim.offered_pps, capacity_pps)
+            if self.noise:
+                achieved_pps *= 1.0 + self.rng.uniform(-self.noise, self.noise)
+            frame_bits = self.victim.frame_bytes * 8
+
+            series.append(
+                t=t_next,
+                victim_throughput_bps=achieved_pps * frame_bits,
+                victim_capacity_bps=capacity_pps * frame_bits,
+                masks=self.switch.mask_count,
+                megaflows=self.switch.megaflow_count,
+                emc_hit_rate=emc_hit_rate,
+                victim_avg_cycles=avg_cost,
+                attacker_pps=sent / self.dt,
+                attacker_cycles=attacker_cycles_per_sec,
+            )
+            t = t_next
+        return SimulationResult(series, self.switch, self.victim, self.attacker)

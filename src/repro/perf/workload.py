@@ -1,0 +1,91 @@
+"""Workload descriptions: the victim's traffic and the covert stream.
+
+The victim models the cloud workload the paper's introduction motivates:
+a service handling many concurrent connections.  Flow diversity is the
+load-bearing parameter — it determines how much the exact-match cache
+can shield the victim from the TSS scan (a single fat iperf flow stays
+microflow-cached and is barely hurt; thousands of short connections are
+fully exposed; the ablation benchmark sweeps this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import parse_bps
+
+
+@dataclass(frozen=True)
+class VictimWorkload:
+    """Aggregate description of the victim tenant's traffic."""
+
+    #: offered load in bit/s (Fig. 3 uses ≈1 Gbps)
+    offered_bps: float = 1e9
+    #: frame size in bytes
+    frame_bytes: int = 1500
+    #: concurrent flows (connection-rich server traffic)
+    concurrent_flows: int = 5000
+    #: new connections per second (each first packet is a cache miss)
+    new_flows_per_sec: float = 500.0
+
+    @classmethod
+    def from_text(cls, offered: str, **kwargs: object) -> "VictimWorkload":
+        """Build with a human-readable rate, e.g. ``from_text("1 Gbps")``."""
+        return cls(offered_bps=parse_bps(offered), **kwargs)  # type: ignore[arg-type]
+
+    @property
+    def offered_pps(self) -> float:
+        """Offered load in packets/second."""
+        return self.offered_bps / (self.frame_bytes * 8)
+
+    @property
+    def per_flow_pps(self) -> float:
+        """Mean packet rate of one flow."""
+        return self.offered_pps / self.concurrent_flows if self.concurrent_flows else 0.0
+
+    @property
+    def miss_fraction(self) -> float:
+        """Fraction of packets that are the first of a new flow (these
+        take the upcall path even when caches are healthy)."""
+        if self.offered_pps <= 0:
+            return 0.0
+        return min(1.0, self.new_flows_per_sec / self.offered_pps)
+
+
+@dataclass(frozen=True)
+class AttackerWorkload:
+    """The covert stream: low-rate packets cycling the adversarial set.
+
+    The paper uses 1–2 Mbps.  With minimum-size frames that is 2–4 kpps
+    — comfortably above the ~820 pps needed to refresh 8192 megaflows
+    inside the 10 s idle timeout (see
+    :func:`repro.attack.analysis.required_refresh_pps`).
+    """
+
+    #: covert stream rate in bit/s
+    rate_bps: float = 2e6
+    #: covert frame size (minimum-size frames maximise pps per bit)
+    frame_bytes: int = 64
+    #: when the attacker starts feeding the ACL (Fig. 3: t = 60 s)
+    start_time: float = 60.0
+
+    @classmethod
+    def from_text(cls, rate: str, **kwargs: object) -> "AttackerWorkload":
+        """Build with a human-readable rate, e.g. ``from_text("1.5 Mbps")``."""
+        return cls(rate_bps=parse_bps(rate), **kwargs)  # type: ignore[arg-type]
+
+    @property
+    def rate_pps(self) -> float:
+        """Covert packets per second."""
+        return self.rate_bps / (self.frame_bytes * 8)
+
+    def active_at(self, t: float) -> bool:
+        """True once the covert stream is flowing."""
+        return t >= self.start_time
+
+    def packets_due(self, t0: float, t1: float) -> int:
+        """Number of covert packets sent within ``[t0, t1)``."""
+        if t1 <= self.start_time:
+            return 0
+        effective_start = max(t0, self.start_time)
+        return int(round((t1 - effective_start) * self.rate_pps))

@@ -1,0 +1,28 @@
+"""``repro.topo`` — the Fig. 1 architecture as an in-process emulation.
+
+"The test setup comprises two server nodes, a data center fabric, and
+hypervisor switches (OVS in our case) providing network services to the
+pods/VMs provisioned at each server."
+
+:class:`CloudNetwork` wires :class:`Node` objects (each owning one
+:class:`~repro.ovs.switch.OvsSwitch`) through a :class:`Fabric`; pods
+attach to nodes via virtual ports (the red dots of Fig. 1 where ACLs
+are installed).  ``send()`` delivers a crafted packet end-to-end:
+source node's OVS → fabric → destination node's OVS → pod, returning
+the verdict and the per-hop cost accounting.
+"""
+
+from repro.topo.node import Node, Pod, VirtualPort
+from repro.topo.fabric import Fabric, FabricLink
+from repro.topo.network import CloudNetwork, DeliveryResult, two_server_topology
+
+__all__ = [
+    "CloudNetwork",
+    "DeliveryResult",
+    "Fabric",
+    "FabricLink",
+    "Node",
+    "Pod",
+    "VirtualPort",
+    "two_server_topology",
+]

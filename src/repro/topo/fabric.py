@@ -1,0 +1,55 @@
+"""The data-center fabric connecting server nodes.
+
+Modelled as a non-blocking L3 fabric (the paper's attack is entirely
+about the *edge* — the hypervisor switches — so the fabric only needs
+to deliver packets to the right node and count them)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FabricLink:
+    """One node's uplink into the fabric, with counters."""
+
+    node_name: str
+    tx_packets: int = 0
+    rx_packets: int = 0
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+
+
+class Fabric:
+    """A star fabric: every node one hop from every other."""
+
+    def __init__(self, name: str = "dc-fabric") -> None:
+        self.name = name
+        self.links: dict[str, FabricLink] = {}
+        self.delivered = 0
+        self.undeliverable = 0
+
+    def attach(self, node_name: str) -> FabricLink:
+        """Connect a node; idempotent."""
+        link = self.links.get(node_name)
+        if link is None:
+            link = FabricLink(node_name)
+            self.links[node_name] = link
+        return link
+
+    def transmit(self, src_node: str, dst_node: str, frame_bytes: int) -> bool:
+        """Carry one frame between nodes; returns delivery success."""
+        src = self.links.get(src_node)
+        dst = self.links.get(dst_node)
+        if src is None or dst is None:
+            self.undeliverable += 1
+            return False
+        src.tx_packets += 1
+        src.tx_bytes += frame_bytes
+        dst.rx_packets += 1
+        dst.rx_bytes += frame_bytes
+        self.delivered += 1
+        return True
+
+    def __repr__(self) -> str:
+        return f"Fabric({self.name}: {len(self.links)} nodes, {self.delivered} delivered)"

@@ -1,0 +1,124 @@
+"""Terminal rendering of experiment output: line charts and tables.
+
+The paper's artefacts are one figure (a two-axis time series, Fig. 3) and
+one table (Fig. 2b).  The benchmark harness regenerates both as text so
+the reproduction is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+class AsciiTable:
+    """A fixed-column text table with an optional title.
+
+    >>> table = AsciiTable(["Key", "Mask"], title="MF cache")
+    >>> table.add_row(["00001010", "11111111"])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Sequence[object]) -> None:
+        """Append a row; cells are stringified."""
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table with column-aligned cells."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+class AsciiChart:
+    """A simple x/y line chart rendered with block characters.
+
+    Supports multiple named series and an optional log-scale y axis, which
+    Fig. 3 needs for the megaflow count (its right axis spans 1..10k).
+    """
+
+    def __init__(
+        self,
+        title: str = "",
+        width: int = 72,
+        height: int = 16,
+        log_y: bool = False,
+    ) -> None:
+        self.title = title
+        self.width = width
+        self.height = height
+        self.log_y = log_y
+        self._series: dict[str, tuple[list[float], list[float], str]] = {}
+
+    def add_series(
+        self,
+        name: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        marker: str = "*",
+    ) -> None:
+        """Register a named series; ``marker`` is the glyph plotted."""
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        self._series[name] = (list(xs), list(ys), marker)
+
+    def render(self) -> str:
+        """Render all series onto a shared canvas with axis labels."""
+        if not self._series:
+            return self.title
+        all_x = [x for xs, _, _ in self._series.values() for x in xs]
+        all_y = [y for _, ys, _ in self._series.values() for y in ys]
+        x_min, x_max = min(all_x), max(all_x)
+        y_min, y_max = min(all_y), max(all_y)
+        if self.log_y:
+            floor = min((y for y in all_y if y > 0), default=1.0)
+            y_min = math.log10(max(floor, 1e-12))
+            y_max = math.log10(max(y_max, floor * 10))
+        if x_max == x_min:
+            x_max = x_min + 1
+        if y_max == y_min:
+            y_max = y_min + 1
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for name, (xs, ys, marker) in self._series.items():
+            for x, y in zip(xs, ys):
+                value = y
+                if self.log_y:
+                    value = math.log10(y) if y > 0 else y_min
+                col = round((x - x_min) / (x_max - x_min) * (self.width - 1))
+                row = round((value - y_min) / (y_max - y_min) * (self.height - 1))
+                grid[self.height - 1 - row][col] = marker
+
+        top = 10 ** y_max if self.log_y else y_max
+        bottom = 10 ** y_min if self.log_y else y_min
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(f"y: [{bottom:.3g} .. {top:.3g}]" + (" (log)" if self.log_y else ""))
+        for row in grid:
+            lines.append("|" + "".join(row))
+        lines.append("+" + "-" * self.width)
+        lines.append(f"x: [{x_min:.3g} .. {x_max:.3g}]")
+        legend = "  ".join(f"{marker}={name}" for name, (_, _, marker) in self._series.items())
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Parsing and pretty-printing of networking units (bps, pps, sizes).
+
+The experiment harness reports Gbps-scale series (Fig. 3) and the attack
+tooling speaks in the paper's "1-2 Mbps covert stream" terms, so both
+directions (parse and format) are needed.
+"""
+
+from __future__ import annotations
+
+_BPS_SUFFIXES = {
+    "bps": 1,
+    "kbps": 1_000,
+    "mbps": 1_000_000,
+    "gbps": 1_000_000_000,
+    "tbps": 1_000_000_000_000,
+}
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kb": 1_000,
+    "mb": 1_000_000,
+    "gb": 1_000_000_000,
+    "kib": 1 << 10,
+    "mib": 1 << 20,
+    "gib": 1 << 30,
+}
+
+
+def parse_bps(text: str | float | int) -> float:
+    """Parse a bandwidth such as ``"1.5 Mbps"`` or ``"2Gbps"`` into bit/s.
+
+    Bare numbers are taken as bit/s already, so the function is safe to
+    call on values that may have been parsed before.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    cleaned = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_BPS_SUFFIXES, key=len, reverse=True):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            return float(number) * _BPS_SUFFIXES[suffix]
+    return float(cleaned)
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a byte size such as ``"1500B"``, ``"9 KB"`` or ``"1MiB"``."""
+    if isinstance(text, int):
+        return text
+    cleaned = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            return int(float(number) * _SIZE_SUFFIXES[suffix])
+    return int(float(cleaned))
+
+
+def format_bps(bps: float, precision: int = 2) -> str:
+    """Format bit/s with an adaptive suffix: ``format_bps(1.5e9)`` ->
+    ``'1.50 Gbps'``."""
+    return _format(bps, precision, "bps")
+
+
+def format_pps(pps: float, precision: int = 2) -> str:
+    """Format packets/s with an adaptive suffix."""
+    return _format(pps, precision, "pps")
+
+
+def format_count(count: float) -> str:
+    """Format a bare count the way the paper's Fig. 3 y2-axis does
+    (1, 10, 100, 1k, 10k)."""
+    if count >= 1_000_000:
+        return f"{count / 1_000_000:.3g}M"
+    if count >= 1_000:
+        return f"{count / 1_000:.3g}k"
+    return f"{count:.0f}"
+
+
+def _format(value: float, precision: int, unit: str) -> str:
+    magnitude = abs(value)
+    if magnitude >= 1e12:
+        return f"{value / 1e12:.{precision}f} T{unit}"
+    if magnitude >= 1e9:
+        return f"{value / 1e9:.{precision}f} G{unit}"
+    if magnitude >= 1e6:
+        return f"{value / 1e6:.{precision}f} M{unit}"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:.{precision}f} k{unit}"
+    return f"{value:.{precision}f} {unit}"

@@ -1,0 +1,149 @@
+"""Tests for the closed-form attack analysis, cross-checked against the
+real dataplane where feasible."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.analysis import (
+    AttackDimension,
+    analyze_acl,
+    predict,
+    reachable_mask_count,
+    required_refresh_bps,
+    required_refresh_pps,
+)
+from repro.cms.acl import Acl, AclEntry
+
+
+class TestReachableMaskCount:
+    def test_paper_numbers(self):
+        ip = AttackDimension("ip_src", 0, 32, 32)
+        dport = AttackDimension("tp_dst", 80, 16, 16)
+        sport = AttackDimension("tp_src", 1, 16, 16)
+        assert reachable_mask_count([AttackDimension("ip_src", 0, 8, 32)]) == 8
+        assert reachable_mask_count([ip, dport]) == 512
+        assert reachable_mask_count([ip, dport, sport]) == 8192
+
+    def test_empty_dimension_list(self):
+        assert reachable_mask_count([]) == 1
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            AttackDimension("ip_src", 0, 0, 32)
+        with pytest.raises(ValueError):
+            AttackDimension("ip_src", 0, 33, 32)
+
+    @given(st.lists(st.integers(1, 16), min_size=1, max_size=3))
+    def test_count_equals_enumeration(self, lens):
+        """The product formula equals brute-force enumeration of masks
+        on a real dataplane, for small widths."""
+        from repro.flow.actions import Allow, Drop
+        from repro.flow.fields import FieldSpace, FieldSpec
+        from repro.flow.key import FlowKey
+        from repro.flow.match import FlowMatch
+        from repro.flow.rule import FlowRule
+        from repro.flow.table import FlowTable
+        from repro.ovs.wildcarding import classify_with_wildcards
+        from itertools import product
+
+        lens = [min(l, 4) for l in lens]  # keep enumeration small
+        widths = [4] * len(lens)
+        space = FieldSpace(
+            [FieldSpec(f"f{i}", w) for i, w in enumerate(widths)], name="enum"
+        )
+        table = FlowTable(space)
+        for i, length in enumerate(lens):
+            from repro.util.bits import mask_of_prefix
+            table.add(
+                FlowRule(
+                    FlowMatch(space, {f"f{i}": (0, mask_of_prefix(length, 4))}),
+                    Allow(),
+                    priority=10,
+                )
+            )
+        table.add(FlowRule(FlowMatch.wildcard(space), Drop(), priority=0))
+
+        masks = set()
+        for values in product(range(16), repeat=len(lens)):
+            key = FlowKey(space, {f"f{i}": v for i, v in enumerate(values)})
+            result = classify_with_wildcards(table, key)
+            if result.rule is not None and not result.rule.action.is_forwarding():
+                masks.add(result.megaflow.masks)
+        dims = [
+            AttackDimension(f"f{i}", 0, length, 4) for i, length in enumerate(lens)
+        ]
+        assert len(masks) == reachable_mask_count(dims)
+
+
+class TestRefreshRates:
+    def test_paper_refresh_budget(self):
+        # 8192 masks / 10s idle timeout = ~820 pps
+        assert required_refresh_pps(8192) == pytest.approx(819.2)
+        # at 64-byte frames that is ~0.42 Mbps — inside the paper's
+        # "1-2 Mbps" with comfortable headroom
+        assert required_refresh_bps(8192) == pytest.approx(419_430.4)
+        assert required_refresh_bps(8192) < 2e6
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            required_refresh_pps(10, idle_timeout=0)
+
+
+class TestPredict:
+    def test_512_mask_prediction_matches_paper_anchor(self):
+        dims = [
+            AttackDimension("ip_src", 0, 32, 32),
+            AttackDimension("tp_dst", 80, 16, 16),
+        ]
+        prediction = predict(dims)
+        assert prediction.mask_count == 512
+        # "slowing it down to 10% of the peak performance"
+        assert 0.08 <= prediction.expected_degradation <= 0.12
+
+    def test_8192_mask_prediction_is_a_dos(self):
+        dims = [
+            AttackDimension("ip_src", 0, 32, 32),
+            AttackDimension("tp_dst", 80, 16, 16),
+            AttackDimension("tp_src", 1, 16, 16),
+        ]
+        prediction = predict(dims)
+        assert prediction.mask_count == 8192
+        assert prediction.expected_degradation < 0.02
+
+    def test_8_mask_prediction_is_mild(self):
+        prediction = predict([AttackDimension("ip_src", 0, 8, 32)])
+        assert prediction.expected_degradation > 0.85
+
+    def test_summary_mentions_key_figures(self):
+        prediction = predict([AttackDimension("ip_src", 0, 8, 32)])
+        text = prediction.summary()
+        assert "8 reachable" in text
+        assert "pps" in text and "Mbps" in text
+
+
+class TestAnalyzeAcl:
+    def test_extracts_single_field_entries(self):
+        acl = (
+            Acl()
+            .add(AclEntry(src_cidr="10.0.0.10/32"))
+            .add(AclEntry(protocol="tcp", dst_ports=(80, 80)))
+        )
+        dims = analyze_acl(acl)
+        assert [(d.field, d.prefix_len) for d in dims] == [("ip_src", 32), ("tp_dst", 16)]
+        assert reachable_mask_count(dims) == 512
+
+    def test_multi_field_entries_ignored(self):
+        acl = Acl().add(
+            AclEntry(src_cidr="10.0.0.10/32", protocol="tcp", dst_ports=(80, 80))
+        )
+        assert analyze_acl(acl) == []
+
+    def test_duplicate_fields_counted_once(self):
+        acl = (
+            Acl()
+            .add(AclEntry(src_cidr="10.0.0.10/32"))
+            .add(AclEntry(src_cidr="10.0.0.11/32"))
+        )
+        dims = analyze_acl(acl)
+        assert len(dims) == 1

@@ -1,0 +1,116 @@
+"""Tests for the adversarial covert packet sequence generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.analysis import AttackDimension, reachable_mask_count
+from repro.attack.packets import CovertStreamGenerator, covert_keys_for_dimensions
+from repro.flow.fields import OVS_FIELDS, toy_single_field_space
+from repro.net.ipv4 import PROTO_TCP, PROTO_UDP, IPv4
+from repro.net.l4 import Tcp, Udp
+from repro.net.pcap import PcapReader
+from repro.util.bits import first_diff_bit
+
+IP_DIM = AttackDimension("ip_src", 0x0A00000A, 32, 32)
+DPORT_DIM = AttackDimension("tp_dst", 80, 16, 16)
+SPORT_DIM = AttackDimension("tp_src", 32768, 16, 16)
+
+
+class TestKeyGeneration:
+    def test_one_key_per_mask_combination(self):
+        keys = covert_keys_for_dimensions([IP_DIM, DPORT_DIM], pinned={"ip_dst": 1})
+        assert len(keys) == 512
+        assert len(set(keys)) == 512
+
+    def test_witness_positions_cover_cross_product(self):
+        keys = covert_keys_for_dimensions([IP_DIM, DPORT_DIM], pinned={"ip_dst": 1})
+        combos = set()
+        for key in keys:
+            ip_witness = first_diff_bit(key.get("ip_src"), IP_DIM.allow_value, 32)
+            port_witness = first_diff_bit(key.get("tp_dst"), DPORT_DIM.allow_value, 16)
+            assert ip_witness is not None and port_witness is not None
+            combos.add((ip_witness + 1, port_witness + 1))
+        assert len(combos) == 512
+
+    def test_every_key_is_denied(self):
+        # no covert key may accidentally match an allow value
+        keys = covert_keys_for_dimensions([IP_DIM, DPORT_DIM], pinned={"ip_dst": 1})
+        for key in keys:
+            assert key.get("ip_src") != IP_DIM.allow_value
+            assert key.get("tp_dst") != DPORT_DIM.allow_value
+
+    def test_toy_space_fig2_sequence(self):
+        space = toy_single_field_space()
+        dim = AttackDimension("ip_src", 0b00001010, 8, 8)
+        keys = covert_keys_for_dimensions([dim], pinned={}, space=space)
+        values = {key.get("ip_src") for key in keys}
+        # exactly the Fig. 2b deny keys (ignoring wildcarded bits)
+        assert values == {0b10001010, 0b01001010, 0b00101010, 0b00011010,
+                          0b00000010, 0b00001110, 0b00001000, 0b00001011}
+
+    def test_empty_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            covert_keys_for_dimensions([], pinned={})
+
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            covert_keys_for_dimensions([IP_DIM, IP_DIM], pinned={})
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    @settings(deadline=None)
+    def test_count_formula_holds(self, l1, l2):
+        dims = [
+            AttackDimension("ip_src", 0x0A000000, l1, 32),
+            AttackDimension("tp_dst", 80, l2, 16),
+        ]
+        keys = covert_keys_for_dimensions(dims, pinned={})
+        assert len(set(keys)) == reachable_mask_count(dims) == l1 * l2
+
+
+class TestCovertStreamGenerator:
+    def test_pinned_fields_quiet_stream(self):
+        generator = CovertStreamGenerator([IP_DIM, DPORT_DIM], dst_ip=0x0A000909)
+        pinned = generator.pinned_fields()
+        assert pinned["ip_dst"] == 0x0A000909
+        assert pinned["eth_type"] == 0x0800
+        assert pinned["ip_proto"] == PROTO_TCP
+        keys = generator.keys()
+        assert all(k.get("ip_dst") == 0x0A000909 for k in keys)
+        assert all(k.get("tp_src") == generator.default_sport for k in keys)
+
+    def test_packets_realise_keys(self):
+        generator = CovertStreamGenerator([IP_DIM], dst_ip=0x0A000909)
+        keys = generator.keys()
+        packets = list(generator.packets())
+        assert len(packets) == len(keys) == 32
+        sample = packets[5]
+        ip = sample.get_layer(IPv4)
+        tcp = sample.get_layer(Tcp)
+        assert ip.src == keys[5].get("ip_src")
+        assert tcp.dport == keys[5].get("tp_dst")
+
+    def test_udp_stream(self):
+        generator = CovertStreamGenerator([DPORT_DIM], dst_ip=1, protocol=PROTO_UDP)
+        packet = next(generator.packets())
+        assert packet.get_layer(Udp) is not None
+
+    def test_icmp_rejected(self):
+        with pytest.raises(ValueError):
+            CovertStreamGenerator([IP_DIM], dst_ip=1, protocol=1)
+
+    def test_frames_are_wire_parseable(self):
+        from repro.flow.extract import flow_key_from_packet
+        generator = CovertStreamGenerator([DPORT_DIM], dst_ip=0x0A000909)
+        for frame, key in zip(generator.frames(), generator.keys()):
+            assert flow_key_from_packet(frame) == key
+
+    def test_pcap_export(self, tmp_path):
+        path = tmp_path / "covert.pcap"
+        generator = CovertStreamGenerator([DPORT_DIM], dst_ip=0x0A000909)
+        count = generator.write_pcap(str(path), rate_pps=820.0)
+        assert count == 16
+        packets = PcapReader(path).read_all()
+        assert len(packets) == 16
+        # replay rate encoded in timestamps
+        assert packets[1].timestamp - packets[0].timestamp == pytest.approx(1 / 820, abs=1e-5)

@@ -1,0 +1,106 @@
+"""Tests for the generic ACL model and its compiler."""
+
+import pytest
+
+from repro.cms.acl import Acl, AclEntry, acl_to_rules
+from repro.cms.base import (
+    PRIORITY_ALLOW,
+    PRIORITY_DEFAULT_DENY,
+    PolicyTarget,
+)
+from repro.flow.actions import Drop, Output
+from repro.flow.fields import OVS_FIELDS
+from repro.flow.key import FlowKey
+from repro.flow.table import FlowTable
+from repro.net.addresses import ip_to_int
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.net.ipv4 import PROTO_TCP
+
+TARGET = PolicyTarget(pod_ip=ip_to_int("10.0.9.10"), output_port=7, tenant="mallory")
+
+
+def _lookup(rules, **key_fields):
+    table = FlowTable(OVS_FIELDS)
+    table.add_all(rules)
+    defaults = {"eth_type": ETHERTYPE_IPV4, "ip_dst": TARGET.pod_ip}
+    return table.lookup(FlowKey(OVS_FIELDS, {**defaults, **key_fields}))
+
+
+class TestAclEntry:
+    def test_ports_require_protocol(self):
+        with pytest.raises(ValueError):
+            AclEntry(dst_ports=(80, 80))
+
+    def test_bad_port_range(self):
+        with pytest.raises(ValueError):
+            AclEntry(protocol="tcp", dst_ports=(100, 5))
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            AclEntry(protocol="sctp")
+
+    def test_needs_l4(self):
+        assert AclEntry(protocol="tcp", dst_ports=(80, 80)).needs_l4()
+        assert not AclEntry(src_cidr="10.0.0.0/8").needs_l4()
+
+
+class TestCompilation:
+    def test_whitelist_plus_default_deny_shape(self):
+        acl = Acl().add(AclEntry(src_cidr="10.0.0.0/8"))
+        rules = acl_to_rules(acl, TARGET)
+        assert len(rules) == 2
+        allow, deny = rules
+        assert allow.priority == PRIORITY_ALLOW
+        assert isinstance(allow.action, Output) and allow.action.port == 7
+        assert deny.priority == PRIORITY_DEFAULT_DENY
+        assert isinstance(deny.action, Drop)
+        assert all(rule.tenant == "mallory" for rule in rules)
+
+    def test_semantics_allow_inside_prefix(self):
+        acl = Acl().add(AclEntry(src_cidr="10.0.0.0/8"))
+        rules = acl_to_rules(acl, TARGET)
+        assert isinstance(_lookup(rules, ip_src=ip_to_int("10.1.2.3")).action, Output)
+        assert isinstance(_lookup(rules, ip_src=ip_to_int("11.0.0.1")).action, Drop)
+
+    def test_every_rule_pins_dst_ip_and_ethertype(self):
+        acl = Acl().add(AclEntry(src_cidr="10.0.0.0/8"))
+        for rule in acl_to_rules(acl, TARGET):
+            value, mask = rule.match.field("ip_dst")
+            assert (value, mask) == (TARGET.pod_ip, 0xFFFFFFFF)
+            value, mask = rule.match.field("eth_type")
+            assert (value, mask) == (ETHERTYPE_IPV4, 0xFFFF)
+
+    def test_port_entry_includes_protocol(self):
+        acl = Acl().add(AclEntry(protocol="tcp", dst_ports=(80, 80)))
+        rules = acl_to_rules(acl, TARGET)
+        allow = rules[0]
+        assert allow.match.field("ip_proto") == (PROTO_TCP, 0xFF)
+        assert allow.match.field("tp_dst") == (80, 0xFFFF)
+
+    def test_port_range_expands_to_prefix_rules(self):
+        # 80..82 = {80-81}/15 + {82}/16 -> two allow rules
+        acl = Acl().add(AclEntry(protocol="tcp", dst_ports=(80, 82)))
+        rules = acl_to_rules(acl, TARGET)
+        allows = [r for r in rules if isinstance(r.action, Output)]
+        assert len(allows) == 2
+        assert isinstance(_lookup(rules, ip_proto=PROTO_TCP, tp_dst=81).action, Output)
+        assert isinstance(_lookup(rules, ip_proto=PROTO_TCP, tp_dst=83).action, Drop)
+
+    def test_src_ports_supported(self):
+        acl = Acl().add(AclEntry(protocol="tcp", src_ports=(1024, 1024)))
+        rules = acl_to_rules(acl, TARGET)
+        assert rules[0].match.field("tp_src") == (1024, 0xFFFF)
+
+    def test_empty_acl_is_pure_default_deny(self):
+        rules = acl_to_rules(Acl(), TARGET)
+        assert len(rules) == 1
+        assert isinstance(rules[0].action, Drop)
+        assert isinstance(_lookup(rules, ip_src=1).action, Drop)
+
+    def test_allowed_field_widths(self):
+        acl = (
+            Acl()
+            .add(AclEntry(src_cidr="10.0.0.0/8"))
+            .add(AclEntry(protocol="tcp", dst_ports=(80, 80)))
+        )
+        assert acl.allowed_field_widths() == [[("ip_src", 8)], [("tp_dst", 16)]]

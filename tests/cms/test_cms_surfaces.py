@@ -1,0 +1,194 @@
+"""Tests for the three CMS policy surfaces and their semantics."""
+
+import pytest
+
+from repro.cms.base import PolicyTarget, PolicyValidationError
+from repro.cms.calico import CalicoCms, CalicoEntityRule, CalicoPolicy, CalicoRule
+from repro.cms.kubernetes import (
+    IpBlock,
+    KubernetesCms,
+    NetworkPolicy,
+    NetworkPolicyIngressRule,
+    NetworkPolicyPeer,
+    NetworkPolicyPort,
+)
+from repro.cms.openstack import OpenStackCms, SecurityGroup, SecurityGroupRule
+from repro.flow.actions import Drop, Output
+from repro.flow.fields import OVS_FIELDS
+from repro.flow.key import FlowKey
+from repro.flow.table import FlowTable
+from repro.net.addresses import ip_to_int
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.net.ipv4 import PROTO_TCP
+
+TARGET = PolicyTarget(pod_ip=ip_to_int("10.0.9.10"), output_port=9, tenant="mallory")
+
+
+def _verdict(rules, **key_fields):
+    table = FlowTable(OVS_FIELDS)
+    table.add_all(rules)
+    defaults = {"eth_type": ETHERTYPE_IPV4, "ip_dst": TARGET.pod_ip, "ip_proto": PROTO_TCP}
+    rule = table.lookup(FlowKey(OVS_FIELDS, {**defaults, **key_fields}))
+    assert rule is not None
+    return rule.action
+
+
+class TestKubernetes:
+    def test_or_semantics_across_ingress_entries(self):
+        # entry 1: ipBlock only; entry 2: ports only -> OR
+        policy = NetworkPolicy(
+            name="two-entries",
+            ingress=(
+                NetworkPolicyIngressRule(
+                    from_=(NetworkPolicyPeer(IpBlock("10.0.0.10/32")),)
+                ),
+                NetworkPolicyIngressRule(
+                    ports=(NetworkPolicyPort(protocol="tcp", port=80),)
+                ),
+            ),
+        )
+        rules = KubernetesCms().compile(policy, TARGET)
+        # allowed source, wrong port: entry 1 admits it
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.0.0.10"), tp_dst=443), Output)
+        # wrong source, allowed port: entry 2 admits it
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("99.9.9.9"), tp_dst=80), Output)
+        # wrong source, wrong port: default deny
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("99.9.9.9"), tp_dst=443), Drop)
+
+    def test_and_semantics_within_entry(self):
+        policy = NetworkPolicy(
+            name="conjunction",
+            ingress=(
+                NetworkPolicyIngressRule(
+                    from_=(NetworkPolicyPeer(IpBlock("10.0.0.0/8")),),
+                    ports=(NetworkPolicyPort(protocol="tcp", port=80),),
+                ),
+            ),
+        )
+        rules = KubernetesCms().compile(policy, TARGET)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.1.1.1"), tp_dst=80), Output)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.1.1.1"), tp_dst=81), Drop)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("11.1.1.1"), tp_dst=80), Drop)
+
+    def test_ip_block_except_denied(self):
+        policy = NetworkPolicy(
+            name="with-except",
+            ingress=(
+                NetworkPolicyIngressRule(
+                    from_=(NetworkPolicyPeer(IpBlock("10.0.0.0/8", except_=("10.3.0.0/16",))),)
+                ),
+            ),
+        )
+        rules = KubernetesCms().compile(policy, TARGET)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.1.0.1")), Output)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.3.0.1")), Drop)
+
+    def test_except_outside_cidr_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            IpBlock("10.0.0.0/8", except_=("11.0.0.0/16",))
+
+    def test_port_range_via_endport(self):
+        port = NetworkPolicyPort(protocol="tcp", port=8000, end_port=8010)
+        assert port.port_range() == (8000, 8010)
+        with pytest.raises(PolicyValidationError):
+            NetworkPolicyPort(protocol="tcp", port=10, end_port=5)
+        with pytest.raises(PolicyValidationError):
+            NetworkPolicyPort(protocol="tcp", end_port=90)
+
+    def test_no_source_port_surface(self):
+        # the API has no field for source ports at all
+        assert not KubernetesCms().supports_source_ports
+        assert not hasattr(NetworkPolicyPort(protocol="tcp", port=1), "source_port")
+
+    def test_invalid_port_protocol(self):
+        policy = NetworkPolicy(
+            name="bad",
+            ingress=(
+                NetworkPolicyIngressRule(ports=(NetworkPolicyPort(protocol="icmp", port=1),)),
+            ),
+        )
+        with pytest.raises(PolicyValidationError):
+            KubernetesCms().compile(policy, TARGET)
+
+
+class TestOpenStack:
+    def test_allow_rules_and_default_deny(self):
+        group = SecurityGroup(name="sg")
+        group.add(SecurityGroupRule(remote_ip_prefix="10.0.0.0/24"))
+        group.add(SecurityGroupRule(protocol="tcp", port_range_min=443, port_range_max=443))
+        rules = OpenStackCms().compile(group, TARGET)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.0.0.77")), Output)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.9.9.9"), tp_dst=443), Output)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.9.9.9"), tp_dst=80), Drop)
+
+    def test_port_range_requires_protocol(self):
+        with pytest.raises(PolicyValidationError):
+            SecurityGroupRule(port_range_min=80, port_range_max=90)
+
+    def test_half_open_port_range_rejected(self):
+        with pytest.raises(PolicyValidationError):
+            SecurityGroupRule(protocol="tcp", port_range_min=80)
+
+    def test_egress_rules_skipped_for_ingress_target(self):
+        group = SecurityGroup(name="sg")
+        group.add(SecurityGroupRule(direction="egress", remote_ip_prefix="0.0.0.0/0"))
+        rules = OpenStackCms().compile(group, TARGET)
+        assert len(rules) == 1  # just the default deny
+
+    def test_ipv6_not_modelled(self):
+        with pytest.raises(PolicyValidationError):
+            SecurityGroupRule(ethertype="IPv6")
+
+    def test_bad_direction(self):
+        with pytest.raises(PolicyValidationError):
+            SecurityGroupRule(direction="sideways")
+
+
+class TestCalico:
+    def test_source_ports_supported(self):
+        # the distinguishing capability that enables 8192 masks
+        assert CalicoCms().supports_source_ports
+        policy = CalicoPolicy(
+            name="sp",
+            ingress=(
+                CalicoRule(
+                    protocol="tcp",
+                    source=CalicoEntityRule(ports=((32768, 32768),)),
+                ),
+            ),
+        )
+        rules = CalicoCms().compile(policy, TARGET)
+        assert isinstance(_verdict(rules, tp_src=32768), Output)
+        assert isinstance(_verdict(rules, tp_src=32769), Drop)
+
+    def test_nets_and_ports_conjunction(self):
+        policy = CalicoPolicy(
+            name="conj",
+            ingress=(
+                CalicoRule(
+                    protocol="tcp",
+                    source=CalicoEntityRule(nets=("10.0.0.0/8",)),
+                    destination=CalicoEntityRule(ports=((80, 80),)),
+                ),
+            ),
+        )
+        rules = CalicoCms().compile(policy, TARGET)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.1.1.1"), tp_dst=80), Output)
+        assert isinstance(_verdict(rules, ip_src=ip_to_int("10.1.1.1"), tp_dst=81), Drop)
+
+    def test_ports_require_protocol(self):
+        with pytest.raises(PolicyValidationError):
+            CalicoRule(source=CalicoEntityRule(ports=((1, 1),)))
+
+    def test_explicit_deny_not_modelled(self):
+        policy = CalicoPolicy(name="deny", ingress=(CalicoRule(action="Deny", protocol="tcp"),))
+        with pytest.raises(PolicyValidationError):
+            CalicoCms().compile(policy, TARGET)
+
+    def test_bad_action(self):
+        with pytest.raises(PolicyValidationError):
+            CalicoRule(action="Log")
+
+    def test_bad_port_range(self):
+        with pytest.raises(PolicyValidationError):
+            CalicoEntityRule(ports=((5, 1),))

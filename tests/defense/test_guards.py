@@ -1,0 +1,160 @@
+"""Tests for the install-guard defenses (mask limit, rate limit,
+prefix rounding)."""
+
+import pytest
+
+from repro.defense.mask_limit import MaskLimitGuard
+from repro.defense.prefix_heuristic import PrefixRoundingGuard, rounded_mask_count
+from repro.defense.rate_limit import TokenBucket, UpcallRateLimitGuard
+from repro.flow.actions import Allow, Drop
+from repro.flow.fields import OVS_FIELDS, toy_single_field_space
+from repro.flow.key import FlowKey
+from repro.flow.match import FlowMatch, MatchBuilder
+from repro.flow.rule import FlowRule
+from repro.ovs.switch import OvsSwitch
+
+
+def _attack_switch(space=None, **kwargs):
+    """A toy switch under the Fig. 2 ACL (8 reachable deny masks)."""
+    space = space or toy_single_field_space()
+    switch = OvsSwitch(space=space, **kwargs)
+    switch.add_rules(
+        [
+            FlowRule(FlowMatch(space, {"ip_src": (0b00001010, 0xFF)}), Allow(), priority=10),
+            FlowRule(FlowMatch.wildcard(space), Drop(), priority=0),
+        ]
+    )
+    return space, switch
+
+
+def _flood(switch, space):
+    for value in range(256):
+        switch.process(FlowKey(space, {"ip_src": value}))
+
+
+class TestMaskLimitGuard:
+    def test_mask_count_capped(self):
+        space, switch = _attack_switch()
+        switch.add_install_guard(MaskLimitGuard(max_masks=3, mode="exact"))
+        _flood(switch, space)
+        # 3 budget masks + possibly the all-exact overflow subtable
+        assert switch.mask_count <= 4
+
+    def test_verdicts_unchanged_under_cap(self):
+        space, switch = _attack_switch()
+        switch.add_install_guard(MaskLimitGuard(max_masks=2, mode="exact"))
+        for value in range(256):
+            result = switch.process(FlowKey(space, {"ip_src": value}))
+            assert result.forwarded == (value == 0b00001010)
+
+    def test_reject_mode_skips_caching(self):
+        space, switch = _attack_switch()
+        guard = MaskLimitGuard(max_masks=1, mode="reject")
+        switch.add_install_guard(guard)
+        _flood(switch, space)
+        assert switch.mask_count <= 1
+        assert guard.rejected > 0
+
+    def test_existing_mask_not_throttled(self):
+        space, switch = _attack_switch()
+        switch.add_install_guard(MaskLimitGuard(max_masks=1, mode="reject"))
+        switch.process(FlowKey(space, {"ip_src": 0b10000000}))  # creates mask 1
+        # same mask, different key: must still install fine
+        result = switch.process(FlowKey(space, {"ip_src": 0b11000000}))
+        assert result.entry is not None or result.path.name == "MEGAFLOW"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaskLimitGuard(0)
+        with pytest.raises(ValueError):
+            MaskLimitGuard(5, mode="maybe")
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(0.2)  # 2 tokens accrued, capped at 1
+
+    def test_burst_cap(self):
+        bucket = TokenBucket(rate=100.0, burst=5.0)
+        bucket.try_take(0.0)
+        # a long quiet period must not bank more than `burst`
+        taken = sum(1 for _ in range(10) if bucket.try_take(100.0))
+        assert taken == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+
+
+class TestUpcallRateLimitGuard:
+    def test_per_tenant_isolation(self):
+        guard = UpcallRateLimitGuard(rate_per_sec=1.0, burst=1.0)
+        mallory = guard.bucket_for("mallory")
+        alice = guard.bucket_for("alice")
+        assert mallory is not alice
+        assert mallory.try_take(0.0)
+        assert alice.try_take(0.0)  # not affected by mallory's spend
+
+    def test_throttles_install_burst(self):
+        space, switch = _attack_switch()
+        guard = UpcallRateLimitGuard(rate_per_sec=2.0, burst=2.0)
+        switch.add_install_guard(guard)
+        # all upcalls happen at t=0 -> only the burst gets cached
+        for value in (0b10000000, 0b01000000, 0b00100000, 0b00010000):
+            switch.process(FlowKey(space, {"ip_src": value}), now=0.0)
+        assert switch.megaflow_count == 2
+        assert guard.throttled == 2
+
+    def test_recovers_over_time(self):
+        space, switch = _attack_switch()
+        switch.add_install_guard(UpcallRateLimitGuard(rate_per_sec=1.0, burst=1.0))
+        switch.process(FlowKey(space, {"ip_src": 0b10000000}), now=0.0)
+        switch.process(FlowKey(space, {"ip_src": 0b01000000}), now=5.0)
+        assert switch.megaflow_count == 2
+
+
+class TestPrefixRoundingGuard:
+    def test_rounded_mask_count_formula(self):
+        assert rounded_mask_count([32, 16, 16], 8) == 4 * 2 * 2
+        assert rounded_mask_count([32, 16], 16) == 2 * 1
+        assert rounded_mask_count([8], 1) == 8
+
+    def test_mask_space_collapses(self):
+        space, switch = _attack_switch()
+        switch.add_install_guard(PrefixRoundingGuard(granularity=4))
+        _flood(switch, space)
+        # 8 bit-level masks collapse to ceil(l/4) in {1,2} -> 2 masks
+        assert switch.mask_count == 2
+
+    def test_verdicts_preserved(self):
+        space, switch = _attack_switch()
+        switch.add_install_guard(PrefixRoundingGuard(granularity=8))
+        for value in range(256):
+            result = switch.process(FlowKey(space, {"ip_src": value}))
+            assert result.forwarded == (value == 0b00001010)
+
+    def test_rounding_only_narrows(self):
+        space, switch = _attack_switch(space=OVS_FIELDS)
+        guard = PrefixRoundingGuard(granularity=8)
+        switch.add_install_guard(guard)
+        switch.process(FlowKey(OVS_FIELDS, {"ip_src": 0x80000000}))
+        for entry in switch.megaflow.entries():
+            for mask, spec in zip(entry.match.masks, OVS_FIELDS.specs):
+                from repro.ovs.wildcarding import prefix_cover_len
+                cover = prefix_cover_len(mask, spec.width)
+                assert cover % 8 == 0 or cover == spec.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixRoundingGuard(0)
+        with pytest.raises(ValueError):
+            rounded_mask_count([8], 0)

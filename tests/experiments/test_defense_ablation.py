@@ -1,0 +1,44 @@
+"""Tests for the E7 mitigation ablation."""
+
+import pytest
+
+from repro.experiments.defenses import render, run_defense_ablation
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # a shortened run preserving every regime: inject at 15s, observe 45s
+    return run_defense_ablation(duration=60.0, attack_start=15.0)
+
+
+class TestDefenseAblation:
+    def test_baseline_is_a_dos(self, rows):
+        baseline = next(r for r in rows if r.defense.startswith("none"))
+        assert baseline.masks_final >= 8192
+        assert baseline.victim_ratio < 0.05
+
+    def test_mask_limit_restores_throughput(self, rows):
+        row = next(r for r in rows if r.defense.startswith("mask limit"))
+        assert row.masks_final <= 65
+        assert row.victim_ratio > 0.9
+
+    def test_prefix_rounding_restores_throughput(self, rows):
+        row = next(r for r in rows if r.defense.startswith("prefix rounding"))
+        assert row.masks_final <= 32
+        assert row.victim_ratio > 0.9
+
+    def test_rate_limit_only_slows_the_attack(self, rows):
+        # the demo's discussion point: rate limiting is a weak defense
+        # here because sustaining masks needs only ~820 refreshes/s
+        row = next(r for r in rows if r.defense.startswith("install rate limit"))
+        assert row.victim_ratio < 0.5
+
+    def test_detector_recovers(self, rows):
+        row = next(r for r in rows if r.defense.startswith("anomaly detector"))
+        assert row.masks_final <= 8
+        assert "mallory" in row.tradeoff
+
+    def test_render(self, rows):
+        text = render(rows)
+        assert "Trade-off" in text
+        assert "mask limit (64)" in text

@@ -1,0 +1,121 @@
+"""Tests for the experiment harness — the paper-facing checks.
+
+These are the reproduction's acceptance tests: every table/figure must
+come out with the paper's numbers (exact for mask counts, shape-level
+for performance).
+"""
+
+import pytest
+
+from repro.experiments.degradation import render as render_degradation
+from repro.experiments.degradation import run_degradation_sweep
+from repro.experiments.fig2 import FIG2B_EXPECTED, fig2_packet_sequence, run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.masks import render as render_masks
+from repro.experiments.masks import run_mask_counts
+
+
+class TestFig2:
+    def test_bit_exact_match(self):
+        result = run_fig2()
+        assert result.exact_match
+        assert result.rows[0] == ("00001010", "11111111", "allow")
+
+    def test_eight_deny_masks(self):
+        assert run_fig2().deny_mask_count == 8
+
+    def test_packet_sequence_is_minimal(self):
+        # one allow packet + exactly one covert packet per deny mask
+        assert len(fig2_packet_sequence()) == 9
+
+    def test_render_mentions_verdict(self):
+        text = run_fig2().render()
+        assert "MATCHES Fig. 2b exactly" in text
+        for key, mask, action in FIG2B_EXPECTED:
+            assert key in text and mask in text
+
+
+class TestMaskCounts:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_mask_counts()
+
+    def test_all_scenarios_match_paper(self, results):
+        assert all(r.matches_paper for r in results)
+
+    def test_paper_numbers(self, results):
+        by_cms = {(r.cms, r.scenario): r for r in results}
+        assert by_cms[("kubernetes", "/8 allow (warm-up)")].measured_masks == 8
+        assert by_cms[("kubernetes", "ip_src + tp_dst")].measured_masks == 512
+        assert by_cms[("openstack", "ip_src + tp_dst")].measured_masks == 512
+        assert by_cms[("calico", "ip_src + tp_dst + tp_src")].measured_masks == 8192
+
+    def test_render(self, results):
+        text = render_masks(results)
+        assert "8192" in text and "512" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # a shortened but shape-preserving run (attack at 20s of 60s)
+        return run_fig3(duration=60.0, attack_start=20.0)
+
+    def test_shape_holds(self, result):
+        assert result.shape_holds()
+
+    def test_pre_attack_plateau(self, result):
+        assert result.report.simulation.pre_attack_mean_bps() == pytest.approx(1e9, rel=0.05)
+
+    def test_post_attack_collapse(self, result):
+        sim = result.report.simulation
+        assert sim.post_attack_mean_bps() < 0.05 * sim.pre_attack_mean_bps()
+
+    def test_mask_cliff_at_attack_start(self, result):
+        series = result.report.simulation.series
+        masks = dict(zip(series.column("t"), series.column("masks")))
+        assert masks[19.0] <= 6
+        assert masks[30.0] >= 8192
+
+    def test_covert_stream_is_low_bandwidth(self, result):
+        # the attack input is 2 Mbps; the damage is ~1 Gbps
+        attacker = result.report.simulation.attacker
+        assert attacker.rate_bps <= 2e6
+
+    def test_render_contains_panels(self, result):
+        text = result.render()
+        assert "victim throughput" in text
+        assert "# megaflow masks" in text
+        assert "shape HOLDS" in text
+
+
+class TestDegradationSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_degradation_sweep(duration=60.0, attack_start=15.0)
+
+    def test_headline_80_to_90_percent(self, rows):
+        k8s = next(r for r in rows if r.cms == "kubernetes" and "tp_dst" in r.surface)
+        assert 0.80 <= 1.0 - k8s.capacity_ratio <= 0.92
+
+    def test_calico_is_full_dos(self, rows):
+        calico = next(r for r in rows if r.cms == "calico")
+        assert calico.capacity_ratio < 0.02
+        assert calico.victim_ratio < 0.05
+
+    def test_warmup_is_mild(self, rows):
+        warmup = next(r for r in rows if "warm-up" in r.surface)
+        assert warmup.capacity_ratio > 0.85
+        assert warmup.victim_ratio > 0.95
+
+    def test_mask_counts_in_sweep(self, rows):
+        assert [r.masks for r in rows] == [
+            pytest.approx(8, abs=2),
+            pytest.approx(513, abs=3),
+            pytest.approx(513, abs=3),
+            pytest.approx(8193, abs=3),
+        ]
+
+    def test_render(self, rows):
+        text = render_degradation(rows)
+        assert "of peak" in text

@@ -1,0 +1,82 @@
+"""Tests for the experiment runner and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import EXPERIMENTS
+from repro.experiments.runner import main as runner_main
+
+
+class TestRunner:
+    def test_experiment_registry_covers_design_index(self):
+        # every experiment id from DESIGN.md §4 that has a runner entry
+        assert set(EXPERIMENTS) == {"fig2", "masks", "fig3", "degradation", "defenses"}
+
+    def test_run_single_experiment(self, capsys):
+        assert runner_main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+        assert "MATCHES Fig. 2b exactly" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner_main(["figure-null"])
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert runner_main(["fig2", "--csv", str(tmp_path)]) == 0
+        # fig2 writes no CSV but the directory must exist for others
+        assert tmp_path.exists()
+
+
+class TestCliPlan:
+    def test_plan_calico(self, capsys):
+        assert main(["plan", "calico"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable megaflow masks: 8192" in out
+        assert "819 pps" in out
+
+    def test_plan_k8s(self, capsys):
+        assert main(["plan", "k8s"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable megaflow masks: 512" in out
+
+    def test_plan_prefix8(self, capsys):
+        assert main(["plan", "prefix8"]) == 0
+        assert "reachable megaflow masks: 8" in capsys.readouterr().out
+
+    def test_unknown_surface(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "azure"])
+
+
+class TestCliCraft:
+    def test_craft_writes_pcap(self, tmp_path, capsys):
+        path = tmp_path / "covert.pcap"
+        assert main(["craft", "prefix8", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 8 covert frames" in out
+        from repro.net.pcap import PcapReader
+
+        assert len(PcapReader(path).read_all()) == 8
+
+    def test_craft_custom_rate(self, tmp_path):
+        path = tmp_path / "covert.pcap"
+        assert main(["craft", "prefix8", str(path), "--rate-pps", "100"]) == 0
+        from repro.net.pcap import PcapReader
+
+        packets = PcapReader(path).read_all()
+        assert packets[1].timestamp - packets[0].timestamp == pytest.approx(0.01)
+
+
+class TestCliMisc:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "Fig. 2b" in capsys.readouterr().out
+
+    def test_experiment_dispatch(self, capsys):
+        assert main(["experiment", "masks"]) == 0
+        assert "8192" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,74 @@
+"""Tests for packet -> flow key extraction."""
+
+from repro.flow.extract import flow_key_from_packet
+from repro.flow.fields import OVS_FIELDS
+from repro.net.ethernet import ETHERTYPE_IPV4, Ethernet, Vlan
+from repro.net.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4
+from repro.net.l4 import Icmp, Tcp, Udp
+from repro.net.layers import Raw
+
+
+class TestExtraction:
+    def test_tcp_five_tuple(self):
+        pkt = (
+            Ethernet()
+            / IPv4(src="10.0.0.1", dst="10.0.0.2")
+            / Tcp(sport=40000, dport=80)
+        )
+        key = flow_key_from_packet(pkt, in_port=3)
+        assert key.get("in_port") == 3
+        assert key.get("eth_type") == ETHERTYPE_IPV4
+        assert key.get("ip_src") == 0x0A000001
+        assert key.get("ip_dst") == 0x0A000002
+        assert key.get("ip_proto") == PROTO_TCP
+        assert key.get("tp_src") == 40000
+        assert key.get("tp_dst") == 80
+
+    def test_udp_ports(self):
+        pkt = Ethernet() / IPv4(src="1.1.1.1", dst="2.2.2.2") / Udp(sport=53, dport=5353)
+        key = flow_key_from_packet(pkt)
+        assert key.get("ip_proto") == PROTO_UDP
+        assert (key.get("tp_src"), key.get("tp_dst")) == (53, 5353)
+
+    def test_icmp_type_code_in_port_fields(self):
+        # OVS stores ICMP type/code in tp_src/tp_dst
+        pkt = Ethernet() / IPv4(src="1.1.1.1", dst="2.2.2.2") / Icmp(icmp_type=8, code=0)
+        key = flow_key_from_packet(pkt)
+        assert key.get("ip_proto") == PROTO_ICMP
+        assert key.get("tp_src") == 8
+        assert key.get("tp_dst") == 0
+
+    def test_non_ip_zero_fills(self):
+        pkt = Ethernet(ethertype=0x88B5) / Raw(b"xx")
+        key = flow_key_from_packet(pkt)
+        assert key.get("eth_type") == 0x88B5
+        assert key.get("ip_src") == 0
+        assert key.get("tp_dst") == 0
+
+    def test_vlan_inner_ethertype(self):
+        pkt = Ethernet() / Vlan(vid=7) / IPv4(src="1.1.1.1", dst="2.2.2.2") / Udp(sport=1, dport=2)
+        key = flow_key_from_packet(pkt)
+        assert key.get("eth_type") == ETHERTYPE_IPV4
+
+    def test_accepts_raw_bytes(self):
+        pkt = Ethernet() / IPv4(src="10.0.0.1", dst="10.0.0.2") / Tcp(sport=1, dport=2)
+        from_layers = flow_key_from_packet(pkt, in_port=9)
+        from_bytes = flow_key_from_packet(pkt.build(), in_port=9)
+        assert from_layers == from_bytes
+
+    def test_extraction_matches_covert_generator(self):
+        # crafting a covert packet and extracting it must land on the
+        # exact flow key the generator targeted
+        from repro.attack.analysis import AttackDimension
+        from repro.attack.packets import CovertStreamGenerator
+
+        dims = [
+            AttackDimension("ip_src", 0x0A00000A, 32, 32),
+            AttackDimension("tp_dst", 80, 16, 16),
+        ]
+        generator = CovertStreamGenerator(dims, dst_ip=0x0A000909)
+        keys = generator.keys()
+        for key in (keys[0], keys[100], keys[-1]):
+            packet = generator.packet_for_key(key)
+            extracted = flow_key_from_packet(packet, in_port=0, space=OVS_FIELDS)
+            assert extracted == key

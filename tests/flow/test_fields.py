@@ -1,0 +1,82 @@
+"""Unit tests for the field registry."""
+
+import pytest
+
+from repro.flow.fields import (
+    FIG2_FIELD,
+    FieldSpace,
+    FieldSpec,
+    OVS_FIELDS,
+    toy_single_field_space,
+)
+
+
+class TestFieldSpec:
+    def test_max_value(self):
+        assert FieldSpec("f", 8).max_value == 255
+        assert FieldSpec("f", 32).max_value == 0xFFFFFFFF
+
+    def test_check_bounds(self):
+        spec = FieldSpec("f", 8)
+        assert spec.check(255) == 255
+        with pytest.raises(ValueError):
+            spec.check(256)
+        with pytest.raises(ValueError):
+            spec.check(-1)
+
+    def test_default_formatter_is_binary(self):
+        # Fig. 2 renders values as bit strings
+        assert FIG2_FIELD.format(0b00001010) == "00001010"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpec("bad", 0)
+
+
+class TestFieldSpace:
+    def test_ovs_field_order_is_staged(self):
+        # metadata, L2, L3, L4 — the OVS flow-key layout
+        names = [spec.name for spec in OVS_FIELDS]
+        assert names == [
+            "in_port", "eth_type", "ip_src", "ip_dst", "ip_proto", "tp_src", "tp_dst",
+        ]
+
+    def test_in_port_is_always_exact(self):
+        assert OVS_FIELDS.spec("in_port").always_exact
+        assert not OVS_FIELDS.spec("ip_src").always_exact
+
+    def test_index_lookup(self):
+        assert OVS_FIELDS.index_of("ip_src") == 2
+        with pytest.raises(KeyError):
+            OVS_FIELDS.index_of("nope")
+
+    def test_contains(self):
+        assert "tp_dst" in OVS_FIELDS
+        assert "vlan_vid" not in OVS_FIELDS
+
+    def test_total_bits(self):
+        # 16+16+32+32+8+16+16
+        assert OVS_FIELDS.total_bits() == 136
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpace([FieldSpec("a", 8), FieldSpec("a", 8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpace([])
+
+    def test_toy_space(self):
+        space = toy_single_field_space()
+        assert len(space) == 1
+        assert space.spec("ip_src").width == 8
+
+    def test_equality_by_specs(self):
+        assert toy_single_field_space() == toy_single_field_space()
+        assert toy_single_field_space() != OVS_FIELDS
+
+    def test_formatters(self):
+        assert OVS_FIELDS.spec("ip_src").format(0x0A000001) == "10.0.0.1"
+        assert OVS_FIELDS.spec("ip_proto").format(6) == "tcp"
+        assert OVS_FIELDS.spec("eth_type").format(0x0800) == "0x0800"
+        assert OVS_FIELDS.spec("tp_dst").format(80) == "80"

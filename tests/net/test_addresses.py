@@ -1,0 +1,110 @@
+"""Unit tests for MAC/IPv4 address handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    MacAddr,
+    int_to_ip,
+    ip_in_prefix,
+    ip_to_int,
+    parse_cidr,
+    prefix_to_mask,
+    random_ip_in_prefix,
+)
+from repro.util.rng import DeterministicRng
+
+
+class TestMacAddr:
+    def test_from_string(self):
+        mac = MacAddr("02:00:00:00:00:01")
+        assert mac.value == 0x020000000001
+
+    def test_from_bytes_roundtrip(self):
+        mac = MacAddr(b"\x02\x00\x00\x00\x00\x01")
+        assert MacAddr(mac.packed()) == mac
+
+    def test_from_int(self):
+        assert MacAddr(0x020000000001).packed() == b"\x02\x00\x00\x00\x00\x01"
+
+    def test_str_format(self):
+        assert str(MacAddr("AB:cd:00:11:22:33")) == "ab:cd:00:11:22:33"
+
+    def test_broadcast_and_multicast(self):
+        assert MacAddr("ff:ff:ff:ff:ff:ff").is_broadcast()
+        assert MacAddr("01:00:5e:00:00:01").is_multicast()
+        assert not MacAddr("02:00:00:00:00:01").is_multicast()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddr("not-a-mac")
+        with pytest.raises(ValueError):
+            MacAddr(b"\x00" * 5)
+        with pytest.raises(ValueError):
+            MacAddr(1 << 48)
+        with pytest.raises(TypeError):
+            MacAddr(1.5)  # type: ignore[arg-type]
+
+    def test_hashable(self):
+        assert len({MacAddr("02:00:00:00:00:01"), MacAddr("02:00:00:00:00:01")}) == 1
+
+
+class TestIpConversions:
+    def test_paper_prefix(self):
+        # "allow communication from 10.0.0.0/8"
+        assert ip_to_int("10.0.0.0") == 0x0A000000
+        assert int_to_ip(0x0A000000) == "10.0.0.0"
+
+    def test_extremes(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_int_passthrough(self):
+        assert ip_to_int(42) == 42
+
+    def test_malformed_rejected(self):
+        for bad in ("10.0.0", "10.0.0.256", "a.b.c.d", "1.2.3.4.5"):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+        with pytest.raises(ValueError):
+            ip_to_int(1 << 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestCidr:
+    def test_parse_cidr(self):
+        assert parse_cidr("10.0.0.0/8") == (0x0A000000, 8)
+
+    def test_bare_address_is_slash_32(self):
+        assert parse_cidr("10.0.0.10") == (ip_to_int("10.0.0.10"), 32)
+
+    def test_host_bits_masked(self):
+        network, length = parse_cidr("10.1.2.3/8")
+        assert network == 0x0A000000 and length == 8
+
+    def test_prefix_to_mask(self):
+        assert prefix_to_mask(8) == 0xFF000000
+        assert prefix_to_mask(32) == 0xFFFFFFFF
+        assert prefix_to_mask(0) == 0
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            parse_cidr("10.0.0.0/33")
+
+    def test_ip_in_prefix(self):
+        assert ip_in_prefix("10.200.3.4", "10.0.0.0/8")
+        assert not ip_in_prefix("11.0.0.1", "10.0.0.0/8")
+
+    @given(st.integers(0, 32))
+    def test_random_ip_stays_inside(self, prefix_len):
+        rng = DeterministicRng(3)
+        cidr = f"10.0.0.0/{prefix_len}" if prefix_len >= 8 else f"0.0.0.0/{prefix_len}"
+        for _ in range(16):
+            address = random_ip_in_prefix(rng, cidr)
+            assert ip_in_prefix(address, cidr)

@@ -1,0 +1,68 @@
+"""Tests for layer stacking and building."""
+
+import pytest
+
+from repro.net.ethernet import Ethernet
+from repro.net.ipv4 import IPv4
+from repro.net.l4 import Tcp, Udp
+from repro.net.layers import Raw
+
+
+class TestStacking:
+    def test_truediv_chains(self):
+        pkt = Ethernet() / IPv4(src="10.0.0.1", dst="10.0.0.2") / Tcp() / Raw(b"x")
+        names = [layer.name for layer in pkt.layers()]
+        assert names == ["eth", "ipv4", "tcp", "raw"]
+
+    def test_truediv_returns_top(self):
+        eth = Ethernet()
+        result = eth / IPv4()
+        assert result is eth
+
+    def test_get_layer(self):
+        pkt = Ethernet() / IPv4() / Udp()
+        assert pkt.get_layer(Udp) is not None
+        assert pkt.get_layer(Tcp) is None
+        assert pkt.has_layer(IPv4)
+
+    def test_stacking_non_layer_rejected(self):
+        with pytest.raises(TypeError):
+            Ethernet() / b"bytes"  # type: ignore[operator]
+
+    def test_summary_mentions_each_layer(self):
+        pkt = Ethernet(src="02:00:00:00:00:01") / IPv4(src="10.0.0.1", dst="10.0.0.2") / Tcp(sport=1, dport=80)
+        text = pkt.summary()
+        assert "eth" in text and "ipv4" in text and "tcp 1>80" in text
+
+
+class TestRaw:
+    def test_build_is_identity(self):
+        assert Raw(b"hello").build() == b"hello"
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            Raw("text")  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        assert Raw(b"a") == Raw(b"a")
+        assert len({Raw(b"a"), Raw(b"a")}) == 1
+
+
+class TestBuildShapes:
+    def test_ethernet_header_length(self):
+        frame = Ethernet().build()
+        assert len(frame) == 14
+
+    def test_minimum_padding(self):
+        frame = Ethernet(pad_to_min=True).build()
+        assert len(frame) == 14 + 46
+
+    def test_tcp_ip_lengths(self):
+        frame = (Ethernet() / IPv4(src="10.0.0.1", dst="10.0.0.2") / Tcp()).build()
+        assert len(frame) == 14 + 20 + 20
+        total_length = int.from_bytes(frame[16:18], "big")
+        assert total_length == 40
+
+    def test_payload_included(self):
+        frame = (Ethernet() / IPv4(src="1.2.3.4", dst="5.6.7.8") / Udp() / Raw(b"abc")).build()
+        assert frame.endswith(b"abc")

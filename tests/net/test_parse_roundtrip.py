@@ -1,0 +1,125 @@
+"""Parse/build round-trip tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.arp import Arp
+from repro.net.ethernet import Ethernet, Vlan
+from repro.net.ipv4 import IPv4
+from repro.net.l4 import Icmp, Tcp, Udp
+from repro.net.layers import Raw
+from repro.net.parse import ParseError, parse_ethernet
+
+
+class TestBasicRoundTrip:
+    def test_tcp_packet(self):
+        pkt = (
+            Ethernet(src="02:00:00:00:00:01", dst="02:00:00:00:00:02")
+            / IPv4(src="10.0.0.1", dst="10.0.0.2", ttl=33)
+            / Tcp(sport=40000, dport=80, seq=1234, flags=0x12)
+            / Raw(b"payload")
+        )
+        parsed = parse_ethernet(pkt.build())
+        ip = parsed.get_layer(IPv4)
+        tcp = parsed.get_layer(Tcp)
+        assert str(parsed.src) == "02:00:00:00:00:01"
+        assert ip.ttl == 33
+        assert tcp.sport == 40000 and tcp.dport == 80 and tcp.seq == 1234
+        assert tcp.flags == 0x12
+        assert parsed.get_layer(Raw).data == b"payload"
+
+    def test_udp_packet(self):
+        pkt = Ethernet() / IPv4(src="1.2.3.4", dst="5.6.7.8") / Udp(sport=53, dport=5353)
+        parsed = parse_ethernet(pkt.build())
+        udp = parsed.get_layer(Udp)
+        assert (udp.sport, udp.dport) == (53, 5353)
+
+    def test_icmp_packet(self):
+        pkt = Ethernet() / IPv4(src="1.1.1.1", dst="2.2.2.2") / Icmp(ident=3, seq=4)
+        parsed = parse_ethernet(pkt.build())
+        icmp = parsed.get_layer(Icmp)
+        assert (icmp.ident, icmp.seq) == (3, 4)
+
+    def test_arp_packet(self):
+        pkt = Ethernet() / Arp(sender_ip="10.0.0.1", target_ip="10.0.0.2")
+        parsed = parse_ethernet(pkt.build())
+        arp = parsed.get_layer(Arp)
+        assert arp.sender_ip == 0x0A000001 and arp.target_ip == 0x0A000002
+
+    def test_vlan_packet(self):
+        pkt = Ethernet() / Vlan(vid=42) / IPv4(src="1.1.1.1", dst="2.2.2.2") / Udp(sport=1, dport=2)
+        parsed = parse_ethernet(pkt.build())
+        assert parsed.get_layer(Vlan).vid == 42
+        assert parsed.get_layer(Udp) is not None
+
+
+class TestDegradation:
+    def test_truncated_frame_raises(self):
+        with pytest.raises(ParseError):
+            parse_ethernet(b"\x00" * 13)
+
+    def test_unknown_ethertype_becomes_raw(self):
+        frame = Ethernet(ethertype=0x88B5).build() + b"opaque"
+        parsed = parse_ethernet(frame)
+        assert isinstance(parsed.payload, Raw)
+
+    def test_truncated_ip_becomes_raw(self):
+        frame = Ethernet(ethertype=0x0800).build() + b"\x45\x00"
+        parsed = parse_ethernet(frame)
+        assert isinstance(parsed.payload, Raw)
+
+    def test_unknown_ip_proto_becomes_raw(self):
+        pkt = Ethernet() / IPv4(src="1.1.1.1", dst="2.2.2.2", proto=99) / Raw(b"xyz")
+        parsed = parse_ethernet(pkt.build())
+        assert parsed.get_layer(IPv4).proto == 99
+        assert parsed.get_layer(Raw).data == b"xyz"
+
+    def test_ethernet_padding_ignored_by_ip_total_length(self):
+        pkt = Ethernet(pad_to_min=True) / IPv4(src="1.1.1.1", dst="2.2.2.2") / Udp(sport=1, dport=2)
+        parsed = parse_ethernet(pkt.build())
+        udp = parsed.get_layer(Udp)
+        assert udp is not None
+        # the padding must not leak into the UDP payload
+        assert udp.payload is None
+
+
+@st.composite
+def tcp_packets(draw):
+    return (
+        Ethernet(
+            src=draw(st.integers(0, 2**48 - 1)),
+            dst=draw(st.integers(0, 2**48 - 1)),
+        )
+        / IPv4(
+            src=draw(st.integers(0, 2**32 - 1)),
+            dst=draw(st.integers(0, 2**32 - 1)),
+            ttl=draw(st.integers(1, 255)),
+            ident=draw(st.integers(0, 0xFFFF)),
+        )
+        / Tcp(
+            sport=draw(st.integers(0, 0xFFFF)),
+            dport=draw(st.integers(0, 0xFFFF)),
+            seq=draw(st.integers(0, 2**32 - 1)),
+            flags=draw(st.integers(0, 0x3F)),
+        )
+        / Raw(draw(st.binary(max_size=32)))
+    )
+
+
+class TestPropertyRoundTrip:
+    @given(tcp_packets())
+    def test_five_tuple_survives(self, pkt):
+        parsed = parse_ethernet(pkt.build())
+        ip_in, tcp_in = pkt.get_layer(IPv4), pkt.get_layer(Tcp)
+        ip_out, tcp_out = parsed.get_layer(IPv4), parsed.get_layer(Tcp)
+        assert (ip_in.src, ip_in.dst) == (ip_out.src, ip_out.dst)
+        assert (tcp_in.sport, tcp_in.dport) == (tcp_out.sport, tcp_out.dport)
+        parsed_raw = parsed.get_layer(Raw)
+        # an empty payload legitimately parses to no Raw layer at all
+        assert pkt.get_layer(Raw).data == (parsed_raw.data if parsed_raw else b"")
+
+    @given(tcp_packets())
+    def test_rebuild_is_identical(self, pkt):
+        wire = pkt.build()
+        assert parse_ethernet(wire).build() == wire

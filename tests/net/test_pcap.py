@@ -1,0 +1,111 @@
+"""Pcap writer/reader tests."""
+
+import struct
+
+import pytest
+
+from repro.net.ethernet import Ethernet
+from repro.net.ipv4 import IPv4
+from repro.net.l4 import Udp
+from repro.net.pcap import LINKTYPE_ETHERNET, MAGIC_LE, PcapReader, PcapWriter
+
+
+def _frames(n=5):
+    return [
+        (Ethernet() / IPv4(src="10.0.0.1", dst="10.0.0.2") / Udp(sport=i, dport=80)).build()
+        for i in range(n)
+    ]
+
+
+class TestWriter:
+    def test_global_header(self, tmp_path):
+        path = tmp_path / "out.pcap"
+        with PcapWriter(path):
+            pass
+        data = path.read_bytes()
+        magic, major, minor, _tz, _sig, snaplen, linktype = struct.unpack("<IHHiIII", data[:24])
+        assert magic == MAGIC_LE
+        assert (major, minor) == (2, 4)
+        assert linktype == LINKTYPE_ETHERNET
+        assert snaplen == 65535
+
+    def test_write_before_open_rejected(self, tmp_path):
+        writer = PcapWriter(tmp_path / "x.pcap")
+        with pytest.raises(RuntimeError):
+            writer.write(b"data")
+
+    def test_write_all_counts(self, tmp_path):
+        path = tmp_path / "stream.pcap"
+        with PcapWriter(path) as writer:
+            count = writer.write_all(_frames(7), rate_pps=100.0)
+        assert count == 7
+        assert writer.packets_written == 7
+
+    def test_bad_rate_rejected(self, tmp_path):
+        with PcapWriter(tmp_path / "x.pcap") as writer:
+            with pytest.raises(ValueError):
+                writer.write_all([b"x"], rate_pps=0)
+
+    def test_snaplen_truncation(self, tmp_path):
+        path = tmp_path / "snap.pcap"
+        with PcapWriter(path, snaplen=10) as writer:
+            writer.write(b"x" * 100)
+        packet = PcapReader(path).read_all()[0]
+        assert len(packet.data) == 10
+
+
+class TestRoundTrip:
+    def test_frames_survive(self, tmp_path):
+        path = tmp_path / "rt.pcap"
+        frames = _frames(5)
+        with PcapWriter(path) as writer:
+            writer.write_all(frames, rate_pps=1000.0)
+        packets = PcapReader(path).read_all()
+        assert [p.data for p in packets] == frames
+
+    def test_timestamps_monotonic(self, tmp_path):
+        path = tmp_path / "ts.pcap"
+        with PcapWriter(path) as writer:
+            writer.write_all(_frames(10), rate_pps=820.0)  # the attack's refresh rate
+        times = [p.timestamp for p in PcapReader(path)]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(1 / 820.0, abs=1e-5)
+
+    def test_reader_exposes_linktype(self, tmp_path):
+        path = tmp_path / "lt.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(b"abc")
+        reader = PcapReader(path)
+        list(reader)
+        assert reader.linktype == LINKTYPE_ETHERNET
+
+
+class TestReaderErrors:
+    def test_not_a_pcap(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(ValueError):
+            list(PcapReader(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3")
+        with pytest.raises(ValueError):
+            list(PcapReader(path))
+
+    def test_truncated_packet(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(b"abcdef")
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(ValueError):
+            list(PcapReader(path))
+
+    def test_big_endian_accepted(self, tmp_path):
+        path = tmp_path / "be.pcap"
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 1, 2, 3, 3) + b"abc"
+        path.write_bytes(header + record)
+        packets = PcapReader(path).read_all()
+        assert packets[0].data == b"abc"

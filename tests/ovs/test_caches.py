@@ -1,0 +1,188 @@
+"""Tests for the megaflow cache lifecycle and the microflow cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.actions import Allow, Drop
+from repro.flow.fields import OVS_FIELDS, toy_single_field_space
+from repro.flow.key import FlowKey
+from repro.flow.match import FlowMatch
+from repro.ovs.megaflow import CacheFullError, MegaflowCache, MegaflowEntry
+from repro.ovs.microflow import MicroflowCache
+from repro.util.rng import DeterministicRng
+
+
+def _match(space, value, mask=0xFF):
+    return FlowMatch(space, {"ip_src": (value, mask)})
+
+
+class TestMegaflowCache:
+    def test_insert_and_lookup(self):
+        space = toy_single_field_space()
+        cache = MegaflowCache(space)
+        cache.insert(_match(space, 5), Allow(), now=0.0)
+        result = cache.lookup(FlowKey(space, {"ip_src": 5}), now=1.0)
+        assert result.hit
+        assert result.entry.hits == 1
+        assert result.entry.last_used == 1.0
+
+    def test_flow_limit_enforced(self):
+        space = toy_single_field_space()
+        cache = MegaflowCache(space, flow_limit=2)
+        cache.insert(_match(space, 1), Allow())
+        cache.insert(_match(space, 2), Allow())
+        with pytest.raises(CacheFullError):
+            cache.insert(_match(space, 3), Allow())
+        assert cache.rejected_inserts == 1
+
+    def test_replacement_does_not_count_against_limit(self):
+        space = toy_single_field_space()
+        cache = MegaflowCache(space, flow_limit=1)
+        first = cache.insert(_match(space, 1), Allow())
+        second = cache.insert(_match(space, 1), Drop())
+        assert not first.alive
+        assert second.alive
+        assert cache.entry_count == 1
+
+    def test_idle_expiry_at_10s_default(self):
+        # the revalidator default the attack must outpace
+        space = toy_single_field_space()
+        cache = MegaflowCache(space)
+        assert cache.idle_timeout == 10.0
+        entry = cache.insert(_match(space, 1), Allow(), now=0.0)
+        assert cache.expire_idle(now=9.0) == 0
+        assert cache.expire_idle(now=10.5) == 1
+        assert not entry.alive
+        assert cache.entry_count == 0
+
+    def test_touch_defers_expiry(self):
+        space = toy_single_field_space()
+        cache = MegaflowCache(space)
+        cache.insert(_match(space, 1), Allow(), now=0.0)
+        cache.lookup(FlowKey(space, {"ip_src": 1}), now=8.0)  # refresh
+        assert cache.expire_idle(now=12.0) == 0  # idle only 4s
+        assert cache.expire_idle(now=19.0) == 1
+
+    def test_evict_tenant(self):
+        space = toy_single_field_space()
+        cache = MegaflowCache(space)
+        cache.insert(_match(space, 1), Allow(), tenant="mallory")
+        cache.insert(_match(space, 2), Allow(), tenant="alice")
+        assert cache.evict_tenant("mallory") == 1
+        remaining = cache.entries()
+        assert [e.tenant for e in remaining] == ["alice"]
+
+    def test_flush(self):
+        space = toy_single_field_space()
+        cache = MegaflowCache(space)
+        entry = cache.insert(_match(space, 1), Allow())
+        cache.flush()
+        assert cache.entry_count == 0
+        assert not entry.alive
+
+    def test_mask_count_tracks_subtables(self):
+        space = toy_single_field_space()
+        cache = MegaflowCache(space)
+        cache.insert(_match(space, 1, 0xFF), Allow())
+        cache.insert(_match(space, 2, 0xFF), Allow())
+        cache.insert(_match(space, 0x80, 0x80), Drop())
+        assert cache.mask_count == 2
+        assert cache.entry_count == 3
+
+
+class TestMicroflowCache:
+    def _key(self, value):
+        return FlowKey(OVS_FIELDS, {"ip_src": value})
+
+    def _entry(self):
+        return MegaflowEntry(
+            match=FlowMatch.wildcard(OVS_FIELDS), action=Allow()
+        )
+
+    def test_hit_and_miss(self):
+        cache = MicroflowCache(entries=16, ways=2)
+        entry = self._entry()
+        cache.insert(self._key(1), entry)
+        assert cache.lookup(self._key(1)) is entry
+        assert cache.lookup(self._key(2)) is None
+        assert cache.hits == 1 and cache.lookups == 2
+
+    def test_capacity_never_exceeded(self):
+        cache = MicroflowCache(entries=8, ways=2)
+        for i in range(100):
+            cache.insert(self._key(i), self._entry())
+        assert cache.occupancy <= 8
+
+    def test_lru_eviction_within_set(self):
+        cache = MicroflowCache(entries=2, ways=2)  # one set, two ways
+        a, b, c = self._entry(), self._entry(), self._entry()
+        cache.insert(self._key(1), a, now=1.0)
+        cache.insert(self._key(2), b, now=2.0)
+        cache.lookup(self._key(1), now=3.0)  # key 1 now most recent
+        cache.insert(self._key(3), c, now=4.0)  # evicts key 2 (LRU)
+        assert cache.lookup(self._key(1)) is a
+        assert cache.lookup(self._key(2)) is None
+        assert cache.evictions == 1
+
+    def test_stale_entries_purged_on_contact(self):
+        cache = MicroflowCache(entries=16, ways=2)
+        entry = self._entry()
+        cache.insert(self._key(1), entry)
+        entry.alive = False
+        assert cache.lookup(self._key(1)) is None
+        assert cache.stale_hits == 1
+        assert cache.occupancy == 0
+
+    def test_invalidate_dead_sweep(self):
+        cache = MicroflowCache(entries=16, ways=2)
+        live, dead = self._entry(), self._entry()
+        cache.insert(self._key(1), live)
+        cache.insert(self._key(2), dead)
+        dead.alive = False
+        assert cache.invalidate_dead() == 1
+        assert cache.occupancy == 1
+
+    def test_probabilistic_insertion(self):
+        # with probability 0 nothing is ever admitted (the netdev EMC's
+        # em-flow-insert-inv-prob knob taken to its extreme)
+        cache = MicroflowCache(entries=16, ways=2, insertion_prob=0.0,
+                               rng=DeterministicRng(1))
+        assert cache.insert(self._key(1), self._entry()) is False
+        assert cache.occupancy == 0
+
+    def test_reinsert_updates_in_place(self):
+        cache = MicroflowCache(entries=16, ways=2)
+        first, second = self._entry(), self._entry()
+        cache.insert(self._key(1), first)
+        cache.insert(self._key(1), second)
+        assert cache.occupancy == 1
+        assert cache.lookup(self._key(1)) is second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroflowCache(entries=0)
+        with pytest.raises(ValueError):
+            MicroflowCache(entries=7, ways=2)
+        with pytest.raises(ValueError):
+            MicroflowCache(entries=8, ways=2, insertion_prob=1.5)
+
+    def test_flush(self):
+        cache = MicroflowCache(entries=8, ways=2)
+        cache.insert(self._key(1), self._entry())
+        cache.flush()
+        assert cache.occupancy == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    def test_lookup_returns_what_was_inserted(self, values):
+        cache = MicroflowCache(entries=64, ways=4)
+        entries = {}
+        for v in values:
+            entry = self._entry()
+            if cache.insert(self._key(v), entry):
+                entries[v] = entry
+        for v, entry in entries.items():
+            found = cache.lookup(self._key(v))
+            # either still cached (then it must be the right entry) or evicted
+            assert found is None or found.match is not None

@@ -1,0 +1,154 @@
+"""Tests for the dataplane simulator."""
+
+import pytest
+
+from repro.attack.analysis import AttackDimension
+from repro.attack.packets import covert_keys_for_dimensions
+from repro.cms.base import PolicyTarget
+from repro.cms.kubernetes import KubernetesCms
+from repro.attack.policy import kubernetes_attack_policy
+from repro.flow.key import FlowKey
+from repro.flow.fields import OVS_FIELDS
+from repro.net.addresses import ip_to_int
+from repro.perf.costmodel import CostModel
+from repro.perf.factory import switch_for_profile
+from repro.perf.simulator import DataplaneSimulator
+from repro.perf.workload import AttackerWorkload, VictimWorkload
+
+
+def _simulator(duration=20.0, start=5.0, rate_bps=2e6, events=None, noise=0.0):
+    switch = switch_for_profile("kernel")
+    policy, dims = kubernetes_attack_policy()
+    target = PolicyTarget(pod_ip=ip_to_int("10.0.9.10"), output_port=3, tenant="mallory")
+    rules = KubernetesCms().compile(policy, target)
+    covert = covert_keys_for_dimensions(
+        dims, pinned={"eth_type": 0x0800, "ip_dst": target.pod_ip, "ip_proto": 6,
+                      "tp_src": 40000, "tp_dst": 40001}
+    )
+    victim_keys = [
+        FlowKey(OVS_FIELDS, {"eth_type": 0x0800, "ip_src": 0x0A000100 + i,
+                             "ip_dst": 0x0A000200, "ip_proto": 6, "tp_dst": 5201})
+        for i in range(3)
+    ]
+    from repro.flow.actions import Output
+    from repro.flow.match import MatchBuilder
+    from repro.flow.rule import FlowRule
+    switch.add_rule(FlowRule(MatchBuilder(OVS_FIELDS).ip_dst("10.0.2.0").build(), Output(7), priority=1))
+
+    default_events = [(max(start - 1.0, 0.0), lambda sw: sw.add_rules(rules))]
+    return DataplaneSimulator(
+        switch=switch,
+        cost_model=CostModel(),
+        victim=VictimWorkload(offered_bps=1e9),
+        attacker=AttackerWorkload(rate_bps=rate_bps, start_time=start),
+        covert_keys=covert,
+        victim_keys=victim_keys,
+        events=events if events is not None else default_events,
+        duration=duration,
+        noise=noise,
+    )
+
+
+class TestValidation:
+    def test_attacker_requires_covert_keys(self):
+        with pytest.raises(ValueError):
+            DataplaneSimulator(
+                switch=switch_for_profile("kernel"),
+                cost_model=CostModel(),
+                victim=VictimWorkload(),
+                attacker=AttackerWorkload(),
+            )
+
+    def test_positive_duration(self):
+        with pytest.raises(ValueError):
+            DataplaneSimulator(
+                switch=switch_for_profile("kernel"),
+                cost_model=CostModel(),
+                victim=VictimWorkload(),
+                duration=0,
+            )
+
+
+class TestNoAttackBaseline:
+    def test_victim_gets_offered_rate(self):
+        simulator = DataplaneSimulator(
+            switch=switch_for_profile("kernel"),
+            cost_model=CostModel(),
+            victim=VictimWorkload(offered_bps=1e9),
+            duration=10.0,
+        )
+        result = simulator.run()
+        assert result.series.last("victim_throughput_bps") == pytest.approx(1e9, rel=0.02)
+        assert result.series.last("masks") == 0
+
+
+class TestAttackRun:
+    def test_masks_ramp_after_start(self):
+        result = _simulator(duration=20.0, start=5.0).run()
+        masks = dict(zip(result.series.column("t"), result.series.column("masks")))
+        assert masks[4.0] <= 2
+        assert masks[20.0] >= 512
+
+    def test_throughput_degrades(self):
+        # 512 masks on a 1 Gbps offered load: a visible dent (the full
+        # collapse needs the 8192-mask Calico surface, tested in the
+        # experiment suite)
+        result = _simulator(duration=25.0, start=5.0).run()
+        pre = result.pre_attack_mean_bps()
+        post = result.post_attack_mean_bps(settle=5.0)
+        assert post < 0.85 * pre
+
+    def test_attacker_cycles_accounted(self):
+        result = _simulator(duration=15.0, start=5.0).run()
+        assert result.series.last("attacker_cycles") > 0
+        assert result.series.last("attacker_pps") > 0
+
+    def test_emc_hit_rate_degrades_under_attack(self):
+        result = _simulator(duration=20.0, start=5.0).run()
+        series = result.series
+        first = series.rows[2]
+        last = series.rows[-1]
+        emc_index = series.columns.index("emc_hit_rate")
+        assert last[emc_index] <= first[emc_index]
+
+    def test_masks_sustained_by_refresh(self):
+        # run long enough that the first-installed megaflows would idle
+        # out (10s) unless the covert stream refreshed them
+        result = _simulator(duration=30.0, start=5.0).run()
+        assert result.series.last("masks") >= 512
+
+    def test_noise_is_bounded_and_deterministic(self):
+        a = _simulator(duration=10.0, start=2.0, noise=0.02).run()
+        b = _simulator(duration=10.0, start=2.0, noise=0.02).run()
+        assert a.series.rows == b.series.rows  # same seed, same series
+
+    def test_degradation_summary_helpers(self):
+        result = _simulator(duration=25.0, start=5.0).run()
+        assert 0.0 < result.degradation() < 1.0
+        assert result.peak_throughput_bps() >= result.post_attack_mean_bps()
+        assert result.final_mask_count() >= 512
+
+    def test_no_attacker_post_mean_raises(self):
+        simulator = DataplaneSimulator(
+            switch=switch_for_profile("kernel"),
+            cost_model=CostModel(),
+            victim=VictimWorkload(),
+            duration=5.0,
+        )
+        result = simulator.run()
+        with pytest.raises(ValueError):
+            result.post_attack_mean_bps()
+
+
+class TestEvents:
+    def test_events_clear_entry_maps(self):
+        sim = _simulator(duration=12.0, start=2.0)
+        flushed = []
+
+        def spy(switch):
+            flushed.append(switch.megaflow_count)
+
+        sim.events.append((8.0, spy))
+        sim.events.sort(key=lambda e: e[0])
+        sim.run()
+        assert flushed  # the event ran

@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII table/chart renderers."""
+
+import pytest
+
+from repro.util.ascii_chart import AsciiChart, AsciiTable
+
+
+class TestAsciiTable:
+    def test_renders_headers_and_rows(self):
+        table = AsciiTable(["Key", "Mask"], title="MF")
+        table.add_row(["00001010", "11111111"])
+        text = table.render()
+        assert "MF" in text
+        assert "Key" in text and "Mask" in text
+        assert "00001010 | 11111111" in text
+
+    def test_column_alignment(self):
+        table = AsciiTable(["A", "B"])
+        table.add_row(["x", "longvalue"])
+        table.add_row(["longvalue", "y"])
+        lines = table.render().splitlines()
+        # all data lines have equal width
+        assert len(set(len(line) for line in lines[-2:])) == 1
+
+    def test_wrong_arity_rejected(self):
+        table = AsciiTable(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_cells_stringified(self):
+        table = AsciiTable(["n"])
+        table.add_row([8192])
+        assert "8192" in table.render()
+
+
+class TestAsciiChart:
+    def test_empty_chart_is_title(self):
+        chart = AsciiChart(title="empty")
+        assert chart.render() == "empty"
+
+    def test_single_series_bounds(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("s", [0, 1, 2], [0.0, 0.5, 1.0])
+        text = chart.render()
+        assert "y: [0 .. 1]" in text
+        assert "x: [0 .. 2]" in text
+        assert "*=s" in text
+
+    def test_log_scale_for_mask_axis(self):
+        chart = AsciiChart(width=20, height=5, log_y=True)
+        chart.add_series("masks", [0, 1], [1, 10000], marker="#")
+        text = chart.render()
+        assert "(log)" in text
+        assert "#=masks" in text
+
+    def test_mismatched_series_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ValueError):
+            chart.add_series("bad", [1, 2], [1])
+
+    def test_flat_series_does_not_crash(self):
+        chart = AsciiChart(width=10, height=4)
+        chart.add_series("flat", [0, 1, 2], [5, 5, 5])
+        assert "flat" in chart.render()
+
+    def test_markers_plotted(self):
+        chart = AsciiChart(width=10, height=4)
+        chart.add_series("v", [0, 1], [0, 1], marker="@")
+        assert "@" in chart.render()

@@ -1,0 +1,148 @@
+"""Unit and property tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bit_clear,
+    bit_flip,
+    bit_get,
+    bit_set,
+    first_diff_bit,
+    mask_of_prefix,
+    ones,
+    popcount,
+    to_binary,
+)
+
+
+class TestOnes:
+    def test_zero_width(self):
+        assert ones(0) == 0
+
+    def test_small_widths(self):
+        assert ones(1) == 0b1
+        assert ones(4) == 0b1111
+        assert ones(8) == 0xFF
+
+    def test_ipv4_width(self):
+        assert ones(32) == 0xFFFFFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            ones(-1)
+
+
+class TestMaskOfPrefix:
+    def test_full_prefix_is_all_ones(self):
+        assert mask_of_prefix(8, 8) == 0xFF
+
+    def test_zero_prefix_is_zero(self):
+        assert mask_of_prefix(0, 8) == 0
+
+    def test_cidr_slash_8(self):
+        assert mask_of_prefix(8, 32) == 0xFF000000
+
+    def test_fig2b_masks(self):
+        # the masks of the paper's Fig. 2b, in prefix-length order
+        expected = [0b10000000, 0b11000000, 0b11100000, 0b11110000,
+                    0b11111000, 0b11111100, 0b11111110, 0b11111111]
+        assert [mask_of_prefix(i, 8) for i in range(1, 9)] == expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of_prefix(9, 8)
+        with pytest.raises(ValueError):
+            mask_of_prefix(-1, 8)
+
+    @given(st.integers(1, 64))
+    def test_prefix_masks_are_nested(self, width):
+        previous = 0
+        for length in range(width + 1):
+            mask = mask_of_prefix(length, width)
+            assert mask & previous == previous  # longer prefixes contain shorter
+            previous = mask
+
+
+class TestBitAccess:
+    def test_msb_is_index_zero(self):
+        assert bit_get(0b10000000, 0, 8) == 1
+        assert bit_get(0b10000000, 7, 8) == 0
+
+    def test_set_clear_flip(self):
+        assert bit_set(0, 0, 8) == 0b10000000
+        assert bit_clear(0xFF, 7, 8) == 0b11111110
+        assert bit_flip(0b00001010, 7, 8) == 0b00001011  # Fig. 2b last row
+
+    def test_index_bounds(self):
+        for fn in (bit_get, bit_set, bit_clear, bit_flip):
+            with pytest.raises(ValueError):
+                fn(0, 8, 8)
+            with pytest.raises(ValueError):
+                fn(0, -1, 8)
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_flip_is_involution(self, value, index):
+        assert bit_flip(bit_flip(value, index, 8), index, 8) == value
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_set_then_get(self, value, index):
+        assert bit_get(bit_set(value, index, 8), index, 8) == 1
+        assert bit_get(bit_clear(value, index, 8), index, 8) == 0
+
+
+class TestFirstDiffBit:
+    def test_equal_values(self):
+        assert first_diff_bit(0b1010, 0b1010, 4) is None
+
+    def test_msb_difference(self):
+        assert first_diff_bit(0b1000, 0b0000, 4) == 0
+
+    def test_lsb_difference(self):
+        assert first_diff_bit(0b0001, 0b0000, 4) == 3
+
+    def test_fig2b_witnesses(self):
+        # allow value 00001010: each covert packet differs first at a
+        # distinct bit, giving Fig. 2b's 8 deny masks
+        allow = 0b00001010
+        for index in range(8):
+            packet = bit_flip(allow, index, 8)
+            assert first_diff_bit(packet, allow, 8) == index
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_symmetry(self, a, b):
+        assert first_diff_bit(a, b, 8) == first_diff_bit(b, a, 8)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_diff_bit_actually_differs(self, a, b):
+        index = first_diff_bit(a, b, 8)
+        if a == b:
+            assert index is None
+        else:
+            assert bit_get(a, index, 8) != bit_get(b, index, 8)
+            # and all earlier bits agree
+            for earlier in range(index):
+                assert bit_get(a, earlier, 8) == bit_get(b, earlier, 8)
+
+
+class TestPopcountAndFormat:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0xFF) == 8
+        assert popcount(0b1010) == 2
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_to_binary_fig2_value(self):
+        assert to_binary(0b00001010, 8) == "00001010"
+
+    def test_to_binary_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            to_binary(256, 8)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_to_binary_roundtrip(self, value):
+        assert int(to_binary(value, 16), 2) == value

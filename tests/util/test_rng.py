@@ -1,0 +1,77 @@
+"""Unit tests for the deterministic RNG."""
+
+from repro.util.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork("emc")
+        b = DeterministicRng(7).fork("emc")
+        assert a.bits(64) == b.bits(64)
+
+    def test_fork_labels_independent(self):
+        parent = DeterministicRng(7)
+        emc = parent.fork("emc")
+        workload = parent.fork("workload")
+        assert emc.bits(64) != workload.bits(64)
+
+    def test_fork_stable_under_parent_draws(self):
+        parent_a = DeterministicRng(7)
+        first = parent_a.fork("child").bits(64)
+        parent_b = DeterministicRng(7)
+        parent_b.randint(0, 100)  # extra draw must not shift the child
+        second = parent_b.fork("child").bits(64)
+        assert first == second
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(0)
+        values = [rng.randint(3, 5) for _ in range(100)]
+        assert set(values) <= {3, 4, 5}
+
+    def test_bits_width(self):
+        rng = DeterministicRng(0)
+        for width in (0, 1, 8, 32):
+            assert 0 <= rng.bits(width) < (1 << width) if width else rng.bits(width) == 0
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(0)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        sampled = rng.sample(items, 4)
+        assert len(sampled) == 4
+        assert len(set(sampled)) == 4
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(0)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_uniform_range(self):
+        rng = DeterministicRng(0)
+        for _ in range(50):
+            value = rng.uniform(-0.02, 0.02)
+            assert -0.02 <= value <= 0.02
+
+    def test_expovariate_positive(self):
+        rng = DeterministicRng(0)
+        assert all(rng.expovariate(10.0) >= 0 for _ in range(20))

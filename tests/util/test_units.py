@@ -1,0 +1,72 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    format_bps,
+    format_count,
+    format_pps,
+    parse_bps,
+    parse_size,
+)
+
+
+class TestParseBps:
+    def test_paper_covert_rates(self):
+        # "low-bandwidth (1-2 Mbps) covert packet stream"
+        assert parse_bps("1 Mbps") == 1_000_000
+        assert parse_bps("2Mbps") == 2_000_000
+
+    def test_gbps(self):
+        assert parse_bps("1.5 Gbps") == 1_500_000_000
+
+    def test_case_insensitive(self):
+        assert parse_bps("10 KBPS") == 10_000
+
+    def test_bare_number_passthrough(self):
+        assert parse_bps("1234") == 1234.0
+        assert parse_bps(1234) == 1234.0
+        assert parse_bps(12.5) == 12.5
+
+    def test_plain_bps_suffix(self):
+        assert parse_bps("500 bps") == 500
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bps("fast")
+
+
+class TestParseSize:
+    def test_decimal_and_binary(self):
+        assert parse_size("1500B") == 1500
+        assert parse_size("1 KB") == 1000
+        assert parse_size("1 KiB") == 1024
+        assert parse_size("2MiB") == 2 * 1024 * 1024
+
+    def test_int_passthrough(self):
+        assert parse_size(64) == 64
+
+
+class TestFormat:
+    def test_format_bps_scales(self):
+        assert format_bps(1.5e9) == "1.50 Gbps"
+        assert format_bps(2e6) == "2.00 Mbps"
+        assert format_bps(500) == "500.00 bps"
+
+    def test_format_pps(self):
+        assert format_pps(820) == "820.00 pps"
+        assert format_pps(2_000_000) == "2.00 Mpps"
+
+    def test_format_count_fig3_axis(self):
+        # Fig. 3's right axis ticks: 1, 10, 100, 1k, 10k
+        assert format_count(1) == "1"
+        assert format_count(100) == "100"
+        assert format_count(1000) == "1k"
+        assert format_count(8192) == "8.19k"
+
+    @given(st.floats(min_value=0.1, max_value=1e13, allow_nan=False))
+    def test_roundtrip_within_precision(self, value):
+        text = format_bps(value, precision=6)
+        assert parse_bps(text) == pytest.approx(value, rel=1e-4)
