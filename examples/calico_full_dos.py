@@ -3,18 +3,19 @@
 
 Reruns the paper's headline experiment — victim at ~1 Gbps, attacker
 feeding her injected ACL with a ≤2 Mbps covert stream at t = 60 s —
-and renders the two-panel Fig. 3 time series plus a CSV dump.
+through the Scenario API and renders the two-panel Fig. 3 time series
+plus a CSV dump.
 
 Run:  python examples/calico_full_dos.py [output.csv]
 """
 
 import sys
 
-from repro.experiments.fig3 import run_fig3
+from repro.scenario import Session
 from repro.util.units import format_bps
 
 print("running the Fig. 3 campaign (150 simulated seconds)...\n")
-result = run_fig3()
+result = Session("fig3").run()
 print(result.render())
 
 sim = result.report.simulation

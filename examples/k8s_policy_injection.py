@@ -15,21 +15,20 @@ Storyline:
 Run:  python examples/k8s_policy_injection.py
 """
 
-from repro.attack import (
-    CovertStreamGenerator,
-    kubernetes_attack_policy,
-    predict,
-)
-from repro.cms import KubernetesCms
+from repro.attack import CovertStreamGenerator, predict
 from repro.net import Ethernet, IPv4, Tcp
+from repro.scenario import SURFACES
 from repro.topo import two_server_topology
 
 network, pods = two_server_topology()
 
 # -- step 1: the malicious (but CMS-valid) policy ---------------------------
+# the "k8s" attack surface from the scenario registry: its policy shape,
+# CMS compiler and attack dimensions in one place
 
-policy, dimensions = kubernetes_attack_policy(allow_ip="10.0.0.10", allow_port=80)
-installed = network.attach_policy(KubernetesCms(), policy, "mallory-b")
+surface = SURFACES.get("k8s")
+policy, dimensions = surface.build()
+installed = network.attach_policy(surface.cms_factory(), policy, "mallory-b")
 print(f"CMS accepted the policy; {installed} flow rules installed on server2")
 print("Attack prediction:", predict(dimensions).summary(), "\n")
 

@@ -1,54 +1,39 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's Fig. 2 worked example in ~40 lines.
+"""Quickstart: the paper's Fig. 2 worked example via the Scenario API.
 
-Builds the toy single-field ACL (Fig. 2a), sends the adversarial packet
-sequence through a real OVS model, and prints the resulting megaflow
-cache — which matches the paper's Fig. 2b bit for bit.
+One `Session` call builds the toy single-field ACL (Fig. 2a), replays
+the adversarial packet sequence through a real OVS pipeline in a single
+`process_batch` burst, and returns the resulting megaflow cache — which
+matches the paper's Fig. 2b bit for bit.  The same API runs every other
+cell of the scenario matrix.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.flow import Allow, Drop, FlowKey, FlowMatch, FlowRule, toy_single_field_space
-from repro.ovs import OvsSwitch
-from repro.util import AsciiTable
+from repro.scenario import SCENARIOS, Session
 
-# -- Fig. 2a: "allow 00001010, deny everything else" ------------------------
+# -- the Fig. 2 scenario: "allow 00001010, deny everything else" ------------
 
-space = toy_single_field_space()          # one 8-bit ip_src field
-switch = OvsSwitch(space=space, name="demo")
-switch.add_rules(
-    [
-        FlowRule(FlowMatch(space, {"ip_src": (0b00001010, 0xFF)}), Allow(), priority=10),
-        FlowRule(FlowMatch.wildcard(space), Drop(), priority=0),
-    ]
+result = Session("fig2").run()
+print(result.render())
+
+probe = result.probe
+print(
+    f"\n{probe.measured} distinct masks (predicted {probe.predicted}) -> every "
+    f"TSS lookup now scans up to {probe.measured} hash tables."
 )
 
-# -- the adversarial packet sequence ----------------------------------------
-# one packet agreeing with the allow value up to bit i and flipping bit
-# i creates one megaflow mask per bit position: 8 masks for 8 bits
+# -- the same API, scaled to the real attacks -------------------------------
+# every registered scenario is a declarative spec: surface x profile x
+# backend x defenses; run any of them with Session(name).run()
 
-allow_value = 0b00001010
-packets = [allow_value] + [allow_value ^ (1 << (7 - i)) for i in range(8)]
-for value in packets:
-    result = switch.process(FlowKey(space, {"ip_src": value}))
-    verdict = "allow" if result.forwarded else "deny"
-    print(f"packet {value:08b} -> {verdict:5s} (via {result.path.value})")
+print("\nscenarios one Session call away:")
+for name, spec in SCENARIOS.items():
+    print(f"  {name:24s} {spec.description}")
 
-# -- the megaflow cache is exactly Fig. 2b ----------------------------------
-
-table = AsciiTable(["Key", "Mask", "Action"], title="\nMegaflow cache (= Fig. 2b)")
-for entry in switch.megaflow.entries():
-    table.add_row(
-        [
-            space.spec("ip_src").format(entry.match.values[0]),
-            space.spec("ip_src").format(entry.match.masks[0]),
-            entry.action.kind,
-        ]
-    )
-print(table.render())
 print(
-    f"\n{switch.mask_count} distinct masks -> every TSS lookup now scans up to "
-    f"{switch.mask_count} hash tables.\n"
-    "Scale the same trick to 32-bit IPs and 16-bit ports and you get the\n"
-    "512- and 8192-mask attacks of the paper (see the other examples)."
+    "\nScale the same trick to 32-bit IPs and 16-bit ports and you get the\n"
+    "512- and 8192-mask attacks of the paper, e.g.:\n"
+    "    Session('fig3').run()            # the full-blown Calico DoS\n"
+    "    Session('calico-cacheless').run()  # a backend with nothing to poison"
 )

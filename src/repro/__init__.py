@@ -13,17 +13,20 @@ on, and regenerates every artefact of its evaluation:
 * :mod:`repro.defense`— the mitigations the demo discusses
 * :mod:`repro.perf`   — cost model, workloads, dataplane simulator
 * :mod:`repro.topo`   — the Fig. 1 two-server cloud emulation
-* :mod:`repro.experiments` — one module per paper table/figure
+* :mod:`repro.scenario` — **the public API**: declarative scenario
+  specs, registries (surfaces/profiles/defenses/backends), the Session
+  facade, and the pluggable Datapath protocol
+* :mod:`repro.experiments` — one module per paper table/figure, all
+  routed through the Scenario API
 
 Quickstart (the Fig. 2 worked example)::
 
-    from repro.experiments.fig2 import run_fig2
-    print(run_fig2().render())
+    from repro.scenario import Session
+    print(Session("fig2").run().render())
 
 The full-blown DoS (Fig. 3)::
 
-    from repro.experiments.fig3 import run_fig3
-    print(run_fig3().render())
+    print(Session("fig3").run().render())
 """
 
 __version__ = "1.0.0"

@@ -20,6 +20,7 @@ attack-side accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.attack.analysis import (
     AttackDimension,
@@ -37,6 +38,9 @@ from repro.perf.costmodel import CostModel
 from repro.perf.simulator import DataplaneSimulator, SimulationResult
 from repro.perf.workload import AttackerWorkload, VictimWorkload
 from repro.util.rng import DeterministicRng
+
+if TYPE_CHECKING:
+    from repro.scenario.datapath import Datapath
 
 
 @dataclass
@@ -74,7 +78,7 @@ class AttackCampaign:
         inject_time: float | None = None,
         duration: float = 150.0,
         cost_model: CostModel | None = None,
-        switch: OvsSwitch | None = None,
+        switch: "Datapath | None" = None,
         space: FieldSpace = OVS_FIELDS,
         noise: float = 0.0,
         seed: int = 7,
@@ -134,8 +138,10 @@ class AttackCampaign:
             )
         return keys
 
-    def build_simulator(self) -> DataplaneSimulator:
-        """Assemble the simulator with the injection event wired in."""
+    def build_simulator(self, extra_events=()) -> DataplaneSimulator:
+        """Assemble the simulator with the injection event wired in;
+        ``extra_events`` (e.g. a defense's timed response) are merged
+        into the schedule."""
         from repro.cms.base import PRIORITY_BASELINE_FORWARD
         from repro.flow.actions import Output
         from repro.flow.match import FlowMatch
@@ -170,20 +176,20 @@ class AttackCampaign:
             attacker=self.attacker,
             covert_keys=self.generator.keys(),
             victim_keys=self.victim_keys(),
-            events=[(self.inject_time, inject)],
+            events=[(self.inject_time, inject), *extra_events],
             duration=self.duration,
             noise=self.noise,
             rng=self.rng.fork("simulator"),
         )
 
-    def run(self) -> CampaignReport:
+    def run(self, extra_events=()) -> CampaignReport:
         """Execute the full campaign."""
         prediction = predict(
             self.dimensions,
             cost_model=self.cost_model,
-            idle_timeout=self.switch.megaflow.idle_timeout,
+            idle_timeout=min(self.switch.idle_timeout, 1e9),
         )
-        simulator = self.build_simulator()
+        simulator = self.build_simulator(extra_events)
         result = simulator.run()
         return CampaignReport(
             prediction=prediction,

@@ -11,6 +11,11 @@ Commands
 ``craft``
     Generate the covert stream as a pcap for lab replay.
 
+``scenario``
+    Run any registered scenario through the Session API
+    (``--list`` enumerates scenarios, surfaces, profiles, backends and
+    defenses; flags override the spec's timing/backend knobs).
+
 ``experiment``
     Run one (or all) of the paper-artefact experiments; thin wrapper
     around :mod:`repro.experiments.runner`.
@@ -23,34 +28,26 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.attack.analysis import predict, required_refresh_bps
 from repro.attack.packets import CovertStreamGenerator
-from repro.attack.policy import (
-    calico_attack_policy,
-    kubernetes_attack_policy,
-    openstack_attack_security_group,
-    single_prefix_policy,
-)
 from repro.net.addresses import ip_to_int
+from repro.scenario import BACKENDS, DEFENSES, PROFILES, SCENARIOS, SURFACES, Session
 from repro.util.units import format_bps
 
-_SURFACES = {
-    "k8s": kubernetes_attack_policy,
-    "openstack": openstack_attack_security_group,
-    "calico": calico_attack_policy,
-    "prefix8": lambda: single_prefix_policy("10.0.0.0/8"),
-}
+
+def _campaign_surfaces() -> list[str]:
+    """Surface names with a CMS compiler (plan/craft targets)."""
+    return [name for name, surface in SURFACES.items() if surface.is_campaign]
 
 
 def _surface_dimensions(surface: str):
     try:
-        builder = _SURFACES[surface]
-    except KeyError:
-        raise SystemExit(
-            f"unknown surface {surface!r}; choose from {sorted(_SURFACES)}"
-        )
-    _policy, dimensions = builder()
+        entry = SURFACES.get(surface)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    _policy, dimensions = entry.build()
     return dimensions
 
 
@@ -89,6 +86,50 @@ def cmd_craft(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_scenario_list() -> None:
+    print("scenarios:")
+    for name, spec in SCENARIOS.items():
+        print(f"  {name:24s} {spec.description or spec.surface}")
+    print("\nsurfaces:")
+    for name, surface in SURFACES.items():
+        print(f"  {name:24s} {surface.description}")
+    print("\nprofiles:    " + ", ".join(PROFILES.names()))
+    print("backends:    " + ", ".join(BACKENDS.names()))
+    print("defenses:    " + ", ".join(DEFENSES.names()))
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """The ``scenario`` command: the Session API from the shell."""
+    if args.list:
+        _print_scenario_list()
+        return 0
+    if args.name is None:
+        raise SystemExit("scenario: a scenario name (or --list) is required")
+    try:
+        spec = SCENARIOS.get(args.name)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    overrides = {}
+    for field_name in ("duration", "attack_start", "seed", "profile", "backend"):
+        value = getattr(args, field_name)
+        if value is not None:
+            overrides[field_name] = value
+    if args.defense:
+        overrides["defenses"] = tuple(args.defense)
+    try:
+        if overrides:
+            spec = spec.evolve(**overrides)
+        result = Session(spec).run()
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"scenario {spec.name!r}: {exc}")
+    print(result.render())
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        written = result.to_csv(args.csv)
+        print(f"\nCSV written to {written}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """The ``experiment`` command."""
     from repro.experiments import runner
@@ -113,16 +154,35 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     plan = sub.add_parser("plan", help="closed-form attack planning")
-    plan.add_argument("surface", choices=sorted(_SURFACES))
+    plan.add_argument("surface", choices=sorted(_campaign_surfaces()))
     plan.add_argument("--frame-bytes", type=int, default=64)
     plan.set_defaults(func=cmd_plan)
 
     craft = sub.add_parser("craft", help="export the covert stream as pcap")
-    craft.add_argument("surface", choices=sorted(_SURFACES))
+    craft.add_argument("surface", choices=sorted(_campaign_surfaces()))
     craft.add_argument("output")
     craft.add_argument("--dst-ip", default="10.0.9.20")
     craft.add_argument("--rate-pps", type=float, default=None)
     craft.set_defaults(func=cmd_craft)
+
+    scenario = sub.add_parser(
+        "scenario", help="run a registered scenario via the Session API"
+    )
+    scenario.add_argument("name", nargs="?", default=None,
+                          help="scenario name (see --list)")
+    scenario.add_argument("--list", action="store_true",
+                          help="enumerate scenarios and registry choices")
+    scenario.add_argument("--duration", type=float, default=None)
+    scenario.add_argument("--attack-start", type=float, default=None,
+                          dest="attack_start")
+    scenario.add_argument("--seed", type=int, default=None)
+    scenario.add_argument("--profile", choices=PROFILES.names(), default=None)
+    scenario.add_argument("--backend", choices=BACKENDS.names(), default=None)
+    scenario.add_argument("--defense", action="append", default=None,
+                          metavar="NAME", help="activate a defense (repeatable)")
+    scenario.add_argument("--csv", type=Path, default=None, metavar="DIR",
+                          help="also dump the result as CSV into DIR")
+    scenario.set_defaults(func=cmd_scenario)
 
     experiment = sub.add_parser("experiment", help="run paper experiments")
     experiment.add_argument("names", nargs="*", help="experiment ids (default: all)")

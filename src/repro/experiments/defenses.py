@@ -1,29 +1,29 @@
 """E7 — mitigation ablation: each defense under the Fig. 3 attack.
 
-For every defense the experiment runs the full Calico (8192-mask)
-campaign with the defense active and reports the victim's post-attack
-throughput ratio plus the defense's trade-off metric, quantifying the
-"mitigation techniques and their trade-offs" discussion of the demo.
+For every defense in the scenario registry the experiment runs the full
+Calico (8192-mask) campaign with the defense active — one declarative
+:class:`~repro.scenario.spec.ScenarioSpec` per row — and reports the
+victim's post-attack throughput ratio plus the defense's trade-off
+metric, quantifying the "mitigation techniques and their trade-offs"
+discussion of the demo.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
 
-from repro.attack.campaign import AttackCampaign
-from repro.attack.policy import calico_attack_policy
-from repro.cms.calico import CalicoCms
-from repro.defense.detector import MaskAnomalyDetector
-from repro.defense.mask_limit import MaskLimitGuard
-from repro.defense.prefix_heuristic import PrefixRoundingGuard
-from repro.defense.rate_limit import UpcallRateLimitGuard
-from repro.net.addresses import ip_to_int
-from repro.ovs.switch import OvsSwitch
-from repro.perf.costmodel import CostModel
-from repro.perf.factory import switch_for_profile
-from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.scenario.session import ScenarioResult, Session
+from repro.scenario.spec import DefenseUse, ScenarioSpec
 from repro.util.ascii_chart import AsciiTable
+
+#: the ablation: every registered defense with its E7 parameters
+ABLATION_DEFENSES: tuple[DefenseUse, ...] = (
+    DefenseUse("none"),
+    DefenseUse("mask-limit", {"max_masks": 64, "mode": "exact"}),
+    DefenseUse("rate-limit", {"rate_per_sec": 100.0, "burst": 200.0}),
+    DefenseUse("prefix-rounding", {"granularity": 8}),
+    DefenseUse("detector", {"threshold": 64, "respond_delay": 20.0}),
+)
 
 
 @dataclass
@@ -34,21 +34,8 @@ class DefenseRow:
     masks_final: int
     victim_ratio: float
     tradeoff: str
-
-
-def _campaign(switch: OvsSwitch, duration: float, attack_start: float) -> AttackCampaign:
-    policy, dimensions = calico_attack_policy()
-    return AttackCampaign(
-        cms=CalicoCms(),
-        policy=policy,
-        dimensions=dimensions,
-        attacker_pod_ip=ip_to_int("10.0.9.10"),
-        victim=VictimWorkload(offered_bps=1e9),
-        attacker=AttackerWorkload(rate_bps=2e6, start_time=attack_start),
-        duration=duration,
-        cost_model=CostModel(),
-        switch=switch,
-    )
+    #: the underlying Session result (CSV hook, series access)
+    result: ScenarioResult | None = field(default=None, repr=False)
 
 
 def run_defense_ablation(
@@ -57,85 +44,25 @@ def run_defense_ablation(
 ) -> list[DefenseRow]:
     """Baseline (no defense) plus each mitigation."""
     rows: list[DefenseRow] = []
-
-    # baseline
-    campaign = _campaign(switch_for_profile("kernel"), duration, attack_start)
-    report = campaign.run()
-    rows.append(
-        DefenseRow(
-            defense="none (baseline)",
-            masks_final=report.simulation.final_mask_count(),
-            victim_ratio=report.simulation.degradation(),
-            tradeoff="-",
+    for use in ABLATION_DEFENSES:
+        spec = ScenarioSpec(
+            surface="calico",
+            name=f"defenses-{use.name}",
+            defenses=(use,),
+            duration=duration,
+            attack_start=attack_start,
         )
-    )
-
-    # megaflow mask budget
-    switch = switch_for_profile("kernel")
-    guard = MaskLimitGuard(max_masks=64, mode="exact")
-    switch.add_install_guard(guard)
-    report = _campaign(switch, duration, attack_start).run()
-    rows.append(
-        DefenseRow(
-            defense="mask limit (64)",
-            masks_final=report.simulation.final_mask_count(),
-            victim_ratio=report.simulation.degradation(),
-            tradeoff=f"{guard.degraded} megaflows degraded to exact-match",
+        result = Session(spec).run()
+        outcome = result.defenses[0]
+        rows.append(
+            DefenseRow(
+                defense=outcome.label,
+                masks_final=result.final_mask_count(),
+                victim_ratio=result.degradation(),
+                tradeoff=outcome.tradeoff,
+                result=result,
+            )
         )
-    )
-
-    # per-tenant install rate limit
-    switch = switch_for_profile("kernel")
-    limiter = UpcallRateLimitGuard(rate_per_sec=100.0, burst=200.0)
-    switch.add_install_guard(limiter)
-    report = _campaign(switch, duration, attack_start).run()
-    rows.append(
-        DefenseRow(
-            defense="install rate limit (100/s)",
-            masks_final=report.simulation.final_mask_count(),
-            victim_ratio=report.simulation.degradation(),
-            tradeoff=f"{limiter.throttled} installs throttled (adds flow-setup latency)",
-        )
-    )
-
-    # coarse-grained wildcarding
-    switch = switch_for_profile("kernel")
-    rounding = PrefixRoundingGuard(granularity=8)
-    switch.add_install_guard(rounding)
-    report = _campaign(switch, duration, attack_start).run()
-    rows.append(
-        DefenseRow(
-            defense="prefix rounding (g=8)",
-            masks_final=report.simulation.final_mask_count(),
-            victim_ratio=report.simulation.degradation(),
-            tradeoff=f"{rounding.coarsened} megaflows narrowed (less cache coverage)",
-        )
-    )
-
-    # detector + eviction: observe mid-attack, respond, keep running
-    switch = switch_for_profile("kernel")
-    detector = MaskAnomalyDetector(threshold=64)
-    campaign = _campaign(switch, duration, attack_start)
-    simulator = campaign.build_simulator()
-
-    def respond(sw: OvsSwitch) -> None:
-        verdict = detector.observe(sw)
-        for tenant in verdict.flagged:
-            detector.respond(sw, tenant)
-
-    simulator.events.append((attack_start + 20.0, respond))
-    simulator.events.sort(key=lambda e: e[0])
-    result = simulator.run()
-    flagged = detector.history[-1].flagged if detector.history else []
-    rows.append(
-        DefenseRow(
-            defense="anomaly detector (+20 s)",
-            masks_final=int(result.series.last("masks")),
-            victim_ratio=result.post_attack_mean_bps(settle=25.0)
-            / result.pre_attack_mean_bps(),
-            tradeoff=f"flagged {flagged or 'nobody'}; tenant disconnected",
-        )
-    )
     return rows
 
 

@@ -3,30 +3,25 @@ and, in certain cases, denying network access altogether".
 
 "Effective peak performance" is the switch's packet-processing capacity
 for flow-diverse traffic — the megaflow-path capacity (DESIGN.md §6).
-This sweep reports, per attack surface, the measured mask count and the
+This sweep runs every campaign surface in the scenario registry through
+a full :class:`~repro.scenario.session.Session` on a kernel-profile
+switch and reports, per attack surface, the measured mask count and the
 attacked capacity as a fraction of the pre-attack peak, plus the
-end-to-end victim throughput ratio from a full campaign run.
+end-to-end victim throughput ratio.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.attack.campaign import AttackCampaign
-from repro.attack.policy import (
-    calico_attack_policy,
-    kubernetes_attack_policy,
-    openstack_attack_security_group,
-    single_prefix_policy,
-)
-from repro.cms.calico import CalicoCms
-from repro.cms.kubernetes import KubernetesCms
-from repro.cms.openstack import OpenStackCms
-from repro.net.addresses import ip_to_int
 from repro.perf.costmodel import CostModel
-from repro.perf.factory import switch_for_profile
-from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.scenario.registry import SURFACES
+from repro.scenario.session import ScenarioResult, Session
+from repro.scenario.spec import ScenarioSpec
 from repro.util.ascii_chart import AsciiTable
+
+#: the surfaces the sweep covers, in the paper's presentation order
+SWEEP_SURFACES = ("prefix8", "k8s", "openstack", "calico")
 
 
 @dataclass
@@ -40,19 +35,13 @@ class DegradationRow:
     capacity_ratio: float
     #: end-to-end victim throughput, post-attack / pre-attack
     victim_ratio: float
+    #: the underlying Session result (CSV hook, series access)
+    result: ScenarioResult | None = field(default=None, repr=False)
 
     @property
     def reduction_pct(self) -> float:
         """Peak-performance reduction in percent."""
         return (1.0 - self.capacity_ratio) * 100.0
-
-
-_SCENARIOS = [
-    ("/8 warm-up", "kubernetes", KubernetesCms(), lambda: single_prefix_policy("10.0.0.0/8")),
-    ("ip_src+tp_dst", "kubernetes", KubernetesCms(), kubernetes_attack_policy),
-    ("ip_src+tp_dst", "openstack", OpenStackCms(), openstack_attack_security_group),
-    ("ip+dport+sport", "calico", CalicoCms(), calico_attack_policy),
-]
 
 
 def run_degradation_sweep(
@@ -64,29 +53,24 @@ def run_degradation_sweep(
     switch and summarise."""
     model = cost_model or CostModel()
     rows: list[DegradationRow] = []
-    for surface, cms_name, cms, builder in _SCENARIOS:
-        policy, dimensions = builder()
-        campaign = AttackCampaign(
-            cms=cms,
-            policy=policy,
-            dimensions=dimensions,
-            attacker_pod_ip=ip_to_int("10.0.9.10"),
-            victim=VictimWorkload(offered_bps=1e9),
-            attacker=AttackerWorkload(rate_bps=2e6, start_time=attack_start),
+    for name in SWEEP_SURFACES:
+        surface = SURFACES.get(name)
+        spec = ScenarioSpec(
+            surface=name,
+            name=f"degradation-{name}",
             duration=duration,
-            cost_model=model,
-            switch=switch_for_profile("kernel", name=f"node-{cms_name}"),
+            attack_start=attack_start,
         )
-        report = campaign.run()
-        sim = report.simulation
-        masks = sim.final_mask_count()
+        result = Session(spec, cost_model=model).run()
+        masks = result.final_mask_count()
         rows.append(
             DegradationRow(
-                surface=surface,
-                cms=cms_name,
+                surface=surface.short_label,
+                cms=surface.cms_name,
                 masks=masks,
                 capacity_ratio=model.degradation_ratio(masks),
-                victim_ratio=sim.degradation(),
+                victim_ratio=result.degradation(),
+                result=result,
             )
         )
     return rows

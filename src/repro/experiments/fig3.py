@@ -8,24 +8,21 @@ The paper's figure shows, over 150 seconds on a Kubernetes node:
 * the megaflow count (log right axis) jumps from a handful to ~10⁴;
 * victim throughput collapses to near zero ("full-blown DoS").
 
-This experiment reruns that storyline end to end: the malicious policy
-is compiled by the Calico CMS model, the covert stream is generated by
-the attack toolkit, megaflow state lives in a real OVS model configured
-with the kernel-datapath profile, and the victim series comes from the
-calibrated cost model.
+This experiment reruns that storyline end to end through the Scenario
+API: the ``fig3`` scenario resolves the Calico surface, the kernel
+datapath profile and the paper's workloads, the
+:class:`~repro.scenario.session.Session` compiles the malicious policy
+and generates the covert stream, megaflow state lives in a real OVS
+model, and the victim series comes from the calibrated cost model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.attack.campaign import AttackCampaign, CampaignReport
-from repro.attack.policy import calico_attack_policy
-from repro.cms.calico import CalicoCms
-from repro.net.addresses import ip_to_int
-from repro.perf.costmodel import CostModel
-from repro.perf.factory import switch_for_profile
-from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.attack.campaign import CampaignReport
+from repro.scenario.presets import SCENARIOS
+from repro.scenario.session import ScenarioResult, Session
 from repro.util.ascii_chart import AsciiChart
 
 ATTACK_START = 60.0
@@ -37,6 +34,8 @@ class Fig3Result:
     """The regenerated Fig. 3."""
 
     report: CampaignReport
+    #: the underlying Session result (CSV hook, defense accounting)
+    scenario: ScenarioResult | None = field(default=None, repr=False)
 
     @property
     def series(self):
@@ -96,21 +95,15 @@ def run_fig3(
     noise: float = 0.0,
 ) -> Fig3Result:
     """Run the Fig. 3 campaign with the paper's parameters."""
-    policy, dimensions = calico_attack_policy()
-    campaign = AttackCampaign(
-        cms=CalicoCms(),
-        policy=policy,
-        dimensions=dimensions,
-        attacker_pod_ip=ip_to_int("10.0.9.10"),
-        victim=VictimWorkload(offered_bps=1e9),
-        attacker=AttackerWorkload(rate_bps=covert_rate_bps, start_time=attack_start),
+    spec = SCENARIOS.get("fig3").evolve(
         duration=duration,
-        cost_model=CostModel(),
-        switch=switch_for_profile("kernel", name="k8s-node"),
-        noise=noise,
+        attack_start=attack_start,
+        covert_rate_bps=covert_rate_bps,
         seed=seed,
+        noise=noise,
     )
-    return Fig3Result(report=campaign.run())
+    result = Session(spec).run()
+    return Fig3Result(report=result.report, scenario=result)
 
 
 if __name__ == "__main__":

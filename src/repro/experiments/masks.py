@@ -1,35 +1,24 @@
 """E2/E3 — the in-text mask counts: 8, 512 and 8192.
 
-For each CMS surface, this experiment (a) predicts the reachable mask
-count in closed form, (b) compiles the malicious policy through the real
-CMS compiler, (c) feeds the covert stream through a real switch, and
-(d) reports the *measured* mask count — all three paper numbers must
-come out exactly.
+For each CMS surface in the scenario registry, this experiment (a)
+predicts the reachable mask count in closed form, (b) compiles the
+malicious policy through the real CMS compiler, (c) feeds the covert
+stream through a real switch, and (d) reports the *measured* mask count
+— all three paper numbers must come out exactly.  Steps (a)–(c) are one
+:meth:`~repro.scenario.session.Session.measure` call per surface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.attack.analysis import AttackDimension, reachable_mask_count
-from repro.attack.packets import CovertStreamGenerator
-from repro.attack.policy import (
-    calico_attack_policy,
-    kubernetes_attack_policy,
-    openstack_attack_security_group,
-    single_prefix_policy,
-)
-from repro.cms.base import CloudManagementSystem, PolicyTarget
-from repro.cms.calico import CalicoCms
-from repro.cms.kubernetes import KubernetesCms
-from repro.cms.openstack import OpenStackCms
-from repro.flow.fields import OVS_FIELDS
-from repro.net.addresses import ip_to_int
-from repro.ovs.switch import OvsSwitch
+from repro.scenario.registry import SURFACES
+from repro.scenario.session import ScenarioResult, Session
+from repro.scenario.spec import ScenarioSpec
 from repro.util.ascii_chart import AsciiTable
 
-#: the attacker pod every scenario targets
-ATTACKER_POD_IP = ip_to_int("10.0.9.10")
+#: the campaign surfaces, in the order the paper presents them
+MASK_COUNT_SURFACES = ("prefix8", "k8s", "openstack", "calico")
 
 
 @dataclass
@@ -42,87 +31,34 @@ class MaskCountResult:
     predicted_masks: int
     measured_masks: int
     paper_masks: int
+    #: the underlying Session result (CSV hook, datapath access)
+    result: ScenarioResult | None = field(default=None, repr=False)
 
     @property
     def matches_paper(self) -> bool:
         return self.predicted_masks == self.paper_masks == self.measured_masks
 
 
-def _measure(
-    cms: CloudManagementSystem,
-    policy: object,
-    dimensions: list[AttackDimension],
-) -> tuple[int, int]:
-    """Compile the policy into a fresh switch, replay the covert stream,
-    return (predicted, measured-deny-mask-count)."""
-    switch = OvsSwitch(space=OVS_FIELDS, name="probe")
-    target = PolicyTarget(
-        pod_ip=ATTACKER_POD_IP, output_port=42, tenant="mallory", pod_name="mallory-a"
-    )
-    switch.add_rules(cms.compile(policy, target, OVS_FIELDS))
-    generator = CovertStreamGenerator(dimensions, dst_ip=ATTACKER_POD_IP)
-    for key in generator.keys():
-        # install via the slow path directly: every covert key is a
-        # known miss, and skipping the TSS miss scan keeps this fast
-        switch.slow_path.handle(key, now=0.0)
-    return reachable_mask_count(dimensions), switch.mask_count
-
-
 def run_mask_counts() -> list[MaskCountResult]:
     """All four scenarios: the /8 warm-up and the three CMS attacks."""
     results: list[MaskCountResult] = []
-
-    policy, dims = single_prefix_policy("10.0.0.0/8")
-    predicted, measured = _measure(KubernetesCms(), policy, dims)
-    results.append(
-        MaskCountResult(
-            scenario="/8 allow (warm-up)",
-            cms="kubernetes",
-            fields="ip_src/8",
-            predicted_masks=predicted,
-            measured_masks=measured,
-            paper_masks=8,
+    for name in MASK_COUNT_SURFACES:
+        surface = SURFACES.get(name)
+        session = Session(ScenarioSpec(surface=name, name=f"masks-{name}"))
+        result = session.run_probe()
+        probe = result.probe
+        assert probe is not None
+        results.append(
+            MaskCountResult(
+                scenario=surface.scenario_label,
+                cms=surface.cms_name,
+                fields=surface.fields,
+                predicted_masks=probe.predicted,
+                measured_masks=probe.measured,
+                paper_masks=surface.paper_masks,
+                result=result,
+            )
         )
-    )
-
-    policy, dims = kubernetes_attack_policy()
-    predicted, measured = _measure(KubernetesCms(), policy, dims)
-    results.append(
-        MaskCountResult(
-            scenario="ip_src + tp_dst",
-            cms="kubernetes",
-            fields="ip_src/32, tp_dst/16",
-            predicted_masks=predicted,
-            measured_masks=measured,
-            paper_masks=512,
-        )
-    )
-
-    group, dims = openstack_attack_security_group()
-    predicted, measured = _measure(OpenStackCms(), group, dims)
-    results.append(
-        MaskCountResult(
-            scenario="ip_src + tp_dst",
-            cms="openstack",
-            fields="ip_src/32, tp_dst/16",
-            predicted_masks=predicted,
-            measured_masks=measured,
-            paper_masks=512,
-        )
-    )
-
-    policy, dims = calico_attack_policy()
-    predicted, measured = _measure(CalicoCms(), policy, dims)
-    results.append(
-        MaskCountResult(
-            scenario="ip_src + tp_dst + tp_src",
-            cms="calico",
-            fields="ip_src/32, tp_dst/16, tp_src/16",
-            predicted_masks=predicted,
-            measured_masks=measured,
-            paper_masks=8192,
-        )
-    )
     return results
 
 

@@ -5,6 +5,11 @@ Usage::
     python -m repro.experiments.runner            # everything
     python -m repro.experiments.runner fig2 fig3  # a subset
     python -m repro.experiments.runner --csv out/ # also dump CSV series
+
+With ``--csv DIR`` every experiment dumps its data through
+:meth:`~repro.scenario.session.ScenarioResult.to_csv`: time series for
+the campaign experiments (one file per scenario), the megaflow/mask
+tables for the static ones.
 """
 
 from __future__ import annotations
@@ -18,26 +23,43 @@ from repro.experiments import degradation, defenses, fig2, fig3, masks
 
 def run_fig2_experiment(csv_dir: Path | None) -> str:
     result = fig2.run_fig2()
+    if csv_dir is not None and result.scenario is not None:
+        result.scenario.to_csv(csv_dir / "fig2.csv")
     return result.render()
 
 
 def run_masks_experiment(csv_dir: Path | None) -> str:
-    return masks.render(masks.run_mask_counts())
+    results = masks.run_mask_counts()
+    if csv_dir is not None:
+        for item in results:
+            if item.result is not None:
+                item.result.to_csv(csv_dir)
+    return masks.render(results)
 
 
 def run_fig3_experiment(csv_dir: Path | None) -> str:
     result = fig3.run_fig3()
-    if csv_dir is not None:
-        result.series.to_csv(csv_dir / "fig3.csv")
+    if csv_dir is not None and result.scenario is not None:
+        result.scenario.to_csv(csv_dir / "fig3.csv")
     return result.render()
 
 
 def run_degradation_experiment(csv_dir: Path | None) -> str:
-    return degradation.render(degradation.run_degradation_sweep())
+    rows = degradation.run_degradation_sweep()
+    if csv_dir is not None:
+        for row in rows:
+            if row.result is not None:
+                row.result.to_csv(csv_dir)
+    return degradation.render(rows)
 
 
 def run_defenses_experiment(csv_dir: Path | None) -> str:
-    return defenses.render(defenses.run_defense_ablation())
+    rows = defenses.run_defense_ablation()
+    if csv_dir is not None:
+        for row in rows:
+            if row.result is not None:
+                row.result.to_csv(csv_dir)
+    return defenses.render(rows)
 
 
 EXPERIMENTS = {
@@ -54,20 +76,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        choices=[*EXPERIMENTS, "all"],
-        default=["all"],
-        help="which experiments to run (default: all)",
+        metavar="experiment",
+        help=f"which experiments to run: {', '.join([*EXPERIMENTS, 'all'])} "
+        "(default: all)",
     )
     parser.add_argument(
         "--csv",
         type=Path,
         default=None,
         metavar="DIR",
-        help="directory for CSV time-series dumps",
+        help="directory for CSV dumps (every experiment writes here)",
     )
     args = parser.parse_args(argv)
 
-    selected = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = set(args.experiments) - {*EXPERIMENTS, "all"}
+    if unknown:
+        parser.error(
+            f"unknown experiments {sorted(unknown)}; "
+            f"choose from {[*EXPERIMENTS, 'all']}"
+        )
+    selected = (
+        list(EXPERIMENTS)
+        if not args.experiments or "all" in args.experiments
+        else args.experiments
+    )
     if args.csv is not None:
         args.csv.mkdir(parents=True, exist_ok=True)
 

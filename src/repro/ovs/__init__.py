@@ -25,12 +25,13 @@ from repro.ovs.tss import Subtable, TssLookupResult, TupleSpaceSearch
 from repro.ovs.microflow import MicroflowCache
 from repro.ovs.upcall import InstallContext, InstallRejected, SlowPath, UpcallResult
 from repro.ovs.revalidator import Revalidator
-from repro.ovs.switch import LookupPath, OvsSwitch, PacketResult
+from repro.ovs.switch import BatchResult, LookupPath, OvsSwitch, PacketResult
 from repro.ovs.stats import SwitchStats
 
 __all__ = [
     "InstallContext",
     "InstallRejected",
+    "BatchResult",
     "LookupPath",
     "MegaflowCache",
     "MegaflowEntry",

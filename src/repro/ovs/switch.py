@@ -16,8 +16,8 @@ throughput series without instrumenting the internals.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.flow.actions import Action
 from repro.flow.fields import OVS_FIELDS, FieldSpace
@@ -45,6 +45,8 @@ class LookupPath(enum.Enum):
     MICROFLOW = "microflow"
     MEGAFLOW = "megaflow"
     UPCALL = "upcall"
+    #: no cache layer at all — a cacheless backend classified directly
+    CACHELESS = "cacheless"
 
 
 @dataclass
@@ -65,6 +67,40 @@ class PacketResult:
     @property
     def forwarded(self) -> bool:
         return self.action.is_forwarding()
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of a :meth:`OvsSwitch.process_batch` call.
+
+    Per-packet results stay available (order matches the input keys);
+    the aggregates save callers a Python-level reduce on the hot path.
+    """
+
+    results: list[PacketResult] = field(default_factory=list)
+    tuples_scanned: int = 0
+    hash_probes: int = 0
+    forwarded: int = 0
+    drops: int = 0
+    upcalls: int = 0
+
+    def add(self, result: PacketResult) -> None:
+        """Fold one packet's outcome into the aggregates."""
+        self.results.append(result)
+        self.tuples_scanned += result.tuples_scanned
+        self.hash_probes += result.hash_probes
+        if result.forwarded:
+            self.forwarded += 1
+        else:
+            self.drops += 1
+        if result.path is LookupPath.UPCALL:
+            self.upcalls += 1
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[PacketResult]:
+        return iter(self.results)
 
 
 class OvsSwitch:
@@ -148,9 +184,34 @@ class OvsSwitch:
             now = self.clock
         else:
             self.clock = now
-
-        self.stats.packets += 1
         self.revalidator.maybe_sweep(now)
+        return self._process_one(key, now)
+
+    def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
+                      now: float | None = None) -> BatchResult:
+        """Run a burst of pre-extracted keys through the pipeline.
+
+        Semantically identical to calling :meth:`process` per key with
+        the same ``now`` — same stats, same cache state — but the clock
+        update and revalidator check run once for the whole burst, which
+        is how a real datapath amortises per-packet overhead over a
+        received batch (and how the simulator avoids paying Python call
+        overhead per victim packet).
+        """
+        if now is None:
+            now = self.clock
+        else:
+            self.clock = now
+        self.revalidator.maybe_sweep(now)
+        batch = BatchResult()
+        for key in keys:
+            batch.add(self._process_one(key, now))
+        return batch
+
+    def _process_one(self, key: FlowKey, now: float) -> PacketResult:
+        """The three-layer pipeline for one pre-extracted key (clock and
+        revalidator already handled by the caller)."""
+        self.stats.packets += 1
 
         # layer 1: microflow cache
         entry = self.microflow.lookup(key, now)
@@ -203,6 +264,15 @@ class OvsSwitch:
         self._account(result)
         return result
 
+    def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
+        """Slow-path shortcut for a *known* cache miss: classify and
+        install without the (mutation-free) TSS miss scan.  Returns the
+        installed megaflow, or ``None`` when a guard or the flow limit
+        vetoed caching.  Part of the :class:`~repro.scenario.datapath.
+        Datapath` protocol — replay harnesses use it to load covert
+        streams without paying the quadratic scan bill in Python."""
+        return self.slow_path.handle(key, now).installed
+
     def _account(self, result: PacketResult) -> None:
         if result.forwarded:
             self.stats.forwarded += 1
@@ -210,6 +280,10 @@ class OvsSwitch:
             self.stats.drops += 1
 
     # -- observability -----------------------------------------------------
+
+    #: this backend keeps attacker-pollutable flow caches (the cacheless
+    #: backend reports False and is costed per-classification instead)
+    has_flow_cache = True
 
     @property
     def mask_count(self) -> int:
@@ -220,6 +294,26 @@ class OvsSwitch:
     def megaflow_count(self) -> int:
         """Cached megaflow entries."""
         return self.megaflow.entry_count
+
+    @property
+    def staged(self) -> bool:
+        """Whether the TSS uses staged (multi-index) lookup."""
+        return self.megaflow.tss.staged
+
+    @property
+    def cache_capacity(self) -> int:
+        """Exact-match cache entries fronting the megaflow layer."""
+        return self.microflow.capacity
+
+    @property
+    def rule_count(self) -> int:
+        """Slow-path rules consulted on a full classification."""
+        return len(self.table)
+
+    @property
+    def idle_timeout(self) -> float:
+        """Revalidator idle timeout governing megaflow expiry."""
+        return self.megaflow.idle_timeout
 
     def advance_clock(self, now: float) -> None:
         """Move time forward (runs due revalidator sweeps)."""

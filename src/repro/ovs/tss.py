@@ -60,7 +60,10 @@ class TssLookupResult:
 class Subtable:
     """All megaflow entries sharing one wildcard mask."""
 
-    __slots__ = ("masks", "entries", "hits", "created_seq", "_stage_index", "_stage_plan")
+    __slots__ = (
+        "masks", "entries", "hits", "created_seq",
+        "_stage_index", "_stage_plan", "_stage_dirty",
+    )
 
     def __init__(
         self,
@@ -73,11 +76,13 @@ class Subtable:
         self.hits = 0
         self.created_seq = created_seq
         self._stage_plan = stage_plan
-        # per-stage set of partial masked keys, rebuilt incrementally;
-        # only allocated when staged lookup is enabled
+        # per-stage set of partial masked keys, maintained incrementally
+        # on insert and rebuilt lazily after removals; only allocated
+        # when staged lookup is enabled
         self._stage_index: list[set[tuple[int, ...]]] | None = (
             [set() for _ in stage_plan] if stage_plan else None
         )
+        self._stage_dirty = False
 
     def mask_key(self, key_values: tuple[int, ...]) -> tuple[int, ...]:
         """Mask a flow key's values down to this subtable's mask."""
@@ -86,16 +91,28 @@ class Subtable:
     def insert(self, masked_values: tuple[int, ...], entry: object) -> None:
         """Add or replace the entry stored under ``masked_values``."""
         self.entries[masked_values] = entry
-        if self._stage_index is not None and self._stage_plan is not None:
+        if (
+            self._stage_index is not None
+            and self._stage_plan is not None
+            and not self._stage_dirty
+        ):
+            # while dirty, skip the incremental update: the pending
+            # rebuild will cover this entry anyway
             for stage, indices in enumerate(self._stage_plan):
                 partial = tuple(masked_values[i] for i in indices)
                 self._stage_index[stage].add(partial)
 
     def remove(self, masked_values: tuple[int, ...]) -> None:
-        """Remove an entry; stage indexes are rebuilt lazily on next use."""
+        """Remove an entry; stage indexes are rebuilt lazily on next use.
+
+        Removal only marks the index dirty (a stale partial key can at
+        worst cost a few extra probes), so bulk evictions — revalidator
+        sweeps, tenant quarantine — never pay the O(entries × stages)
+        rebuild per entry; the next staged lookup rebuilds once.
+        """
         del self.entries[masked_values]
-        if self._stage_index is not None and self._stage_plan is not None:
-            self._rebuild_stage_index()
+        if self._stage_index is not None:
+            self._stage_dirty = True
 
     def _rebuild_stage_index(self) -> None:
         assert self._stage_index is not None and self._stage_plan is not None
@@ -103,6 +120,7 @@ class Subtable:
             self._stage_index[stage] = {
                 tuple(masked[i] for i in indices) for masked in self.entries
             }
+        self._stage_dirty = False
 
     def lookup_staged(self, masked_values: tuple[int, ...]) -> tuple[object | None, int]:
         """Staged probe: returns ``(entry, probes_used)``; aborts at the
@@ -110,6 +128,8 @@ class Subtable:
         if self._stage_index is None or self._stage_plan is None:
             entry = self.entries.get(masked_values)
             return entry, 1
+        if self._stage_dirty:
+            self._rebuild_stage_index()
         probes = 0
         for stage, indices in enumerate(self._stage_plan):
             probes += 1

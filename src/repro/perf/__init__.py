@@ -24,7 +24,7 @@ and reproduce the same linearity.
 """
 
 from repro.perf.costmodel import CostModel, DatapathProfile, KERNEL_PROFILE, NETDEV_PROFILE
-from repro.perf.factory import profile_by_name, switch_for_profile
+from repro.perf.factory import PROFILES, profile_by_name, switch_for_profile
 from repro.perf.workload import AttackerWorkload, VictimWorkload
 from repro.perf.series import TimeSeries, Window
 from repro.perf.simulator import DataplaneSimulator, SimulationResult
@@ -36,6 +36,7 @@ __all__ = [
     "DatapathProfile",
     "KERNEL_PROFILE",
     "NETDEV_PROFILE",
+    "PROFILES",
     "SimulationResult",
     "TimeSeries",
     "VictimWorkload",

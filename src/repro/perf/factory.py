@@ -1,27 +1,29 @@
 """Build :class:`~repro.ovs.switch.OvsSwitch` instances from datapath
-profiles (kernel vs netdev) so experiments pick a flavour by name."""
+profiles (kernel vs netdev) so experiments pick a flavour by name.
+
+Profiles live in a :class:`~repro.util.registry.Registry` — the same
+mechanism the Scenario API uses for surfaces, defenses and backends —
+so new flavours (more cores, bigger EMC, custom idle timeout) register
+once and become addressable from specs and the CLI.
+"""
 
 from __future__ import annotations
 
 from repro.flow.fields import OVS_FIELDS, FieldSpace
 from repro.ovs.switch import OvsSwitch
 from repro.perf.costmodel import KERNEL_PROFILE, NETDEV_PROFILE, DatapathProfile
+from repro.util.registry import Registry
 from repro.util.rng import DeterministicRng
 
-_PROFILES = {
-    "kernel": KERNEL_PROFILE,
-    "netdev": NETDEV_PROFILE,
-}
+#: the datapath-profile registry (string-keyed, scenario-addressable)
+PROFILES: Registry[DatapathProfile] = Registry("datapath profile")
+PROFILES.register("kernel", KERNEL_PROFILE)
+PROFILES.register("netdev", NETDEV_PROFILE)
 
 
 def profile_by_name(name: str) -> DatapathProfile:
-    """Look up a built-in datapath profile."""
-    try:
-        return _PROFILES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown profile {name!r}; available: {sorted(_PROFILES)}"
-        ) from None
+    """Look up a registered datapath profile."""
+    return PROFILES.get(name)
 
 
 def switch_for_profile(

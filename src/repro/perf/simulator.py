@@ -1,13 +1,16 @@
 """Discrete-time simulation of one hypervisor switch under attack.
 
 Hybrid fidelity (see the package docstring): the covert stream and a set
-of representative victim flows run through a **real**
-:class:`~repro.ovs.switch.OvsSwitch` — so mask counts, megaflow expiry,
-flow limits and defense guards behave exactly as implemented — while the
-victim's *aggregate* cost is evaluated analytically from the cost model
-each tick (simulating 83 kpps packet-by-packet in Python would be
+of representative victim flows run through a **real** datapath backend
+(any :class:`~repro.scenario.datapath.Datapath` — the OVS cache
+hierarchy by default) — so mask counts, megaflow expiry, flow limits
+and defense guards behave exactly as implemented — while the victim's
+*aggregate* cost is evaluated analytically from the cost model each
+tick (simulating 83 kpps packet-by-packet in Python would be
 prohibitively slow and adds no information: within a tick every victim
-packet sees the same cache state).
+packet sees the same cache state).  Victim flows are refreshed through
+the backend's bulk ``process_batch`` entry point, which amortises the
+per-packet clock/revalidator overhead over each tick's burst.
 
 The victim's achievable throughput each tick is::
 
@@ -22,12 +25,15 @@ which yields Fig. 3's cliff when the mask count jumps from a handful to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.flow.key import FlowKey
 from repro.ovs.megaflow import MegaflowEntry
 from repro.ovs.switch import OvsSwitch
 from repro.perf.costmodel import CostModel
+
+if TYPE_CHECKING:
+    from repro.scenario.datapath import Datapath
 from repro.perf.series import TimeSeries, Window
 from repro.perf.workload import AttackerWorkload, VictimWorkload
 from repro.util.rng import DeterministicRng
@@ -48,7 +54,7 @@ class SimulationResult:
     """The output of one simulation run."""
 
     series: TimeSeries
-    switch: OvsSwitch
+    switch: "Datapath"
     victim: VictimWorkload
     attacker: AttackerWorkload | None
 
@@ -83,7 +89,7 @@ class DataplaneSimulator:
 
     def __init__(
         self,
-        switch: OvsSwitch,
+        switch: "Datapath",
         cost_model: CostModel,
         victim: VictimWorkload,
         attacker: AttackerWorkload | None = None,
@@ -127,13 +133,18 @@ class DataplaneSimulator:
 
     def _refresh_victim_flows(self, now: float) -> None:
         """Keep the representative victim flows installed and hot (the
-        real victim aggregate never goes idle)."""
+        real victim aggregate never goes idle).  Flows without a live
+        megaflow go through the pipeline as one batch."""
+        stale: list[FlowKey] = []
         for key in self.victim_keys:
             entry = self._victim_entries.get(key)
             if entry is not None and entry.alive:
                 entry.touch(now)
             else:
-                result = self.switch.process(key, now=now)
+                stale.append(key)
+        if stale:
+            batch = self.switch.process_batch(stale, now=now)
+            for key, result in zip(stale, batch.results):
                 if result.entry is not None:
                     self._victim_entries[key] = result.entry
 
@@ -156,9 +167,23 @@ class DataplaneSimulator:
         due = self.attacker.packets_due(t0, t1)
         if due <= 0:
             return 0, 0.0
-        cycles = 0.0
         n_keys = len(self.covert_keys)
         mid = t0 + (t1 - t0) / 2
+        if not self.switch.has_flow_cache:
+            # no cache to pollute: every covert packet is a plain (and
+            # futile) classification, run as one batch per tick
+            burst = [
+                self.covert_keys[(self._covert_cursor + i) % n_keys]
+                for i in range(due)
+            ]
+            self._covert_cursor += due
+            batch = self.switch.process_batch(burst, now=mid)
+            cycles = (
+                due * self.cost_model.cycles_megaflow_base
+                + batch.tuples_scanned * self.cost_model.cycles_tuple_probe
+            )
+            return due, cycles
+        cycles = 0.0
         for _ in range(due):
             key = self.covert_keys[self._covert_cursor % n_keys]
             self._covert_cursor += 1
@@ -169,12 +194,12 @@ class DataplaneSimulator:
                     self.switch.mask_count
                 )
             else:
-                upcall = self.switch.slow_path.handle(key, now=mid)
-                if upcall.installed is not None:
-                    self._attacker_entries[key] = upcall.installed
+                installed = self.switch.handle_miss(key, now=mid)
+                if installed is not None:
+                    self._attacker_entries[key] = installed
                 cycles += self.cost_model.miss_cost(
                     self.switch.mask_count,
-                    rules_examined=len(self.switch.table),
+                    rules_examined=self.switch.rule_count,
                 )
         return due, cycles
 
@@ -188,13 +213,17 @@ class DataplaneSimulator:
             active_flows += len(self._attacker_entries)
         if active_flows <= 0:
             return EMC_MAX_LOCALITY
-        capacity = self.switch.microflow.capacity
+        capacity = self.switch.cache_capacity
         return EMC_MAX_LOCALITY * min(1.0, capacity / active_flows)
 
     def _victim_avg_cost(self, emc_hit_rate: float) -> float:
         """Expected per-packet cycles for the victim aggregate."""
         masks = self.switch.mask_count
-        staged = self.switch.megaflow.tss.staged
+        if not self.switch.has_flow_cache:
+            # cacheless backend: every packet pays the same static scan
+            # over the compiled rule groups — no upcalls, no cache state
+            return self.cost_model.megaflow_hit_cost(masks)
+        staged = self.switch.staged
         f_new = self.victim.miss_fraction
         hit_cost = (
             emc_hit_rate * self.cost_model.emc_hit_cost()
@@ -202,7 +231,7 @@ class DataplaneSimulator:
             * self.cost_model.expected_megaflow_hit_cost(masks, staged)
         )
         miss_cost = self.cost_model.miss_cost(
-            masks, rules_examined=max(len(self.switch.table), 1), staged=staged
+            masks, rules_examined=max(self.switch.rule_count, 1), staged=staged
         )
         return f_new * miss_cost + (1.0 - f_new) * hit_cost
 

@@ -1,0 +1,197 @@
+"""The :class:`Datapath` protocol — the classifier-backend interface.
+
+Extracted from :class:`~repro.ovs.switch.OvsSwitch` so the simulator
+and the Session facade run against *any* packet classifier, not just
+the OVS cache hierarchy.  The protocol is deliberately small: the
+per-packet entry points (``process`` / ``process_batch`` /
+``handle_miss``), the slow-path rule management the CMS layer needs,
+and the observables the cost model reads (mask count, cache capacity,
+staged flag).
+
+Two backends ship:
+
+* ``"ovs"`` — :class:`~repro.ovs.switch.OvsSwitch` itself (it already
+  satisfies the protocol structurally);
+* ``"cacheless"`` — :class:`CachelessDatapath` below, adapting the
+  ESwitch-style :class:`~repro.defense.cacheless.CachelessSwitch`:
+  every packet is classified from scratch against a static tuple space
+  over the *rule set*, so there is no cache for the attacker to
+  poison — the mitigation baseline of the paper's reference [4].
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.defense.cacheless import CachelessSwitch
+from repro.flow.actions import Action
+from repro.flow.fields import FieldSpace
+from repro.flow.key import FlowKey
+from repro.flow.rule import FlowRule
+from repro.ovs.megaflow import MegaflowEntry
+from repro.ovs.switch import BatchResult, LookupPath, PacketResult
+from repro.ovs.upcall import InstallGuard
+
+
+@runtime_checkable
+class Datapath(Protocol):
+    """One node's packet classifier, as the simulator sees it."""
+
+    name: str
+    space: FieldSpace
+    #: whether this backend keeps attacker-pollutable flow caches; when
+    #: False the cost model charges a flat per-classification bill
+    has_flow_cache: bool
+
+    # -- datapath ----------------------------------------------------------
+
+    def process(self, key_or_packet, in_port: int = 0,
+                now: float | None = None) -> PacketResult: ...
+
+    def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
+                      now: float | None = None) -> BatchResult: ...
+
+    def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None: ...
+
+    def advance_clock(self, now: float) -> None: ...
+
+    # -- slow-path rule management ----------------------------------------
+
+    def add_rule(self, rule: FlowRule) -> FlowRule: ...
+
+    def add_rules(self, rules: list[FlowRule]) -> None: ...
+
+    def remove_tenant_rules(self, tenant: str) -> int: ...
+
+    def add_install_guard(self, guard: InstallGuard) -> None: ...
+
+    def invalidate_caches(self) -> None: ...
+
+    # -- observables the cost model reads ----------------------------------
+
+    @property
+    def mask_count(self) -> int: ...
+
+    @property
+    def megaflow_count(self) -> int: ...
+
+    @property
+    def cache_capacity(self) -> int: ...
+
+    @property
+    def staged(self) -> bool: ...
+
+    @property
+    def rule_count(self) -> int: ...
+
+    @property
+    def idle_timeout(self) -> float: ...
+
+
+class CachelessDatapath:
+    """Adapter exposing :class:`CachelessSwitch` behind the protocol.
+
+    Cache observables report the static structure: ``mask_count`` is
+    the compiled group count (the per-packet scan bound — the analogue
+    of the TSS mask count, except it is bounded by the rule set),
+    ``megaflow_count`` and ``cache_capacity`` are zero, and
+    ``handle_miss`` classifies without caching anything.
+    """
+
+    has_flow_cache = False
+
+    def __init__(self, space: FieldSpace, name: str = "eswitch",
+                 miss_action: Action | None = None) -> None:
+        self.inner = CachelessSwitch(space, name=name, miss_action=miss_action)
+        self.name = name
+        self.space = space
+        self.clock = 0.0
+
+    # -- datapath ----------------------------------------------------------
+
+    def process(self, key_or_packet, in_port: int = 0,
+                now: float | None = None) -> PacketResult:
+        if not isinstance(key_or_packet, FlowKey):
+            from repro.flow.extract import flow_key_from_packet
+
+            key_or_packet = flow_key_from_packet(
+                key_or_packet, in_port=in_port, space=self.space
+            )
+        if now is not None:
+            self.clock = now
+        outcome = self.inner.process(key_or_packet)
+        return PacketResult(
+            action=outcome.action,
+            path=LookupPath.CACHELESS,
+            tuples_scanned=outcome.groups_probed,
+            hash_probes=outcome.groups_probed,
+            entry=None,
+        )
+
+    def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
+                      now: float | None = None) -> BatchResult:
+        if now is not None:
+            self.clock = now
+        batch = BatchResult()
+        for key in keys:
+            batch.add(self.process(key))
+        return batch
+
+    def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
+        self.process(key, now=now)
+        return None
+
+    def advance_clock(self, now: float) -> None:
+        self.clock = now
+
+    # -- slow-path rule management ----------------------------------------
+
+    def add_rule(self, rule: FlowRule) -> FlowRule:
+        return self.inner.add_rule(rule)
+
+    def add_rules(self, rules: list[FlowRule]) -> None:
+        self.inner.add_rules(rules)
+
+    def remove_tenant_rules(self, tenant: str) -> int:
+        removed = self.inner.table.remove_if(lambda rule: rule.tenant == tenant)
+        if removed:
+            self.inner._compiled = False
+        return removed
+
+    def add_install_guard(self, guard: InstallGuard) -> None:
+        raise ValueError(
+            "the cacheless backend installs no megaflows; install-guard "
+            "defenses do not apply (it needs none: there is no cache to poison)"
+        )
+
+    def invalidate_caches(self) -> None:
+        pass  # nothing cached
+
+    # -- observables -------------------------------------------------------
+
+    @property
+    def mask_count(self) -> int:
+        return self.inner.group_count
+
+    @property
+    def megaflow_count(self) -> int:
+        return 0
+
+    @property
+    def cache_capacity(self) -> int:
+        return 0
+
+    @property
+    def staged(self) -> bool:
+        return False
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.inner.table)
+
+    @property
+    def idle_timeout(self) -> float:
+        return float("inf")  # nothing expires: nothing is cached
+
+    def __repr__(self) -> str:
+        return f"CachelessDatapath({self.inner!r})"

@@ -1,0 +1,145 @@
+"""Named, ready-to-run scenarios (``repro scenario <name>``).
+
+Each entry is a plain :class:`~repro.scenario.spec.ScenarioSpec`; the
+experiment scripts and the CLI both draw from this registry, and new
+cells of the matrix are one ``SCENARIOS.register(...)`` away.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.spec import DefenseUse, ScenarioSpec
+from repro.util.registry import Registry
+
+SCENARIOS: Registry[ScenarioSpec] = Registry("scenario")
+
+SCENARIOS.register(
+    "fig2",
+    ScenarioSpec(
+        surface="fig2",
+        name="fig2",
+        description="regenerate the Fig. 2b megaflow table bit-exactly",
+    ),
+)
+SCENARIOS.register(
+    "fig3",
+    ScenarioSpec(
+        surface="calico",
+        name="fig3",
+        duration=150.0,
+        attack_start=60.0,
+        description="Fig. 3: the full-blown Kubernetes/Calico DoS timeline",
+    ),
+)
+SCENARIOS.register(
+    "prefix8",
+    ScenarioSpec(
+        surface="prefix8",
+        duration=120.0,
+        attack_start=30.0,
+        description="the /8 warm-up campaign (8 masks, mild)",
+    ),
+)
+SCENARIOS.register(
+    "k8s",
+    ScenarioSpec(
+        surface="k8s",
+        duration=120.0,
+        attack_start=30.0,
+        description="Kubernetes ip_src+tp_dst campaign (512 masks, ~90% loss)",
+    ),
+)
+SCENARIOS.register(
+    "openstack",
+    ScenarioSpec(
+        surface="openstack",
+        duration=120.0,
+        attack_start=30.0,
+        description="OpenStack security-group campaign (512 masks)",
+    ),
+)
+SCENARIOS.register(
+    "calico",
+    ScenarioSpec(
+        surface="calico",
+        duration=120.0,
+        attack_start=30.0,
+        description="Calico source-port campaign (8192 masks, full DoS)",
+    ),
+)
+SCENARIOS.register(
+    "calico-netdev",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-netdev",
+        profile="netdev",
+        duration=120.0,
+        attack_start=30.0,
+        description="the 8192-mask attack against the userspace/DPDK profile",
+    ),
+)
+SCENARIOS.register(
+    "calico-staged",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-staged",
+        staged_lookup=True,
+        duration=120.0,
+        attack_start=30.0,
+        description="staged TSS lookup: cheaper probes, same subtable count",
+    ),
+)
+SCENARIOS.register(
+    "calico-cacheless",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-cacheless",
+        backend="cacheless",
+        duration=120.0,
+        attack_start=30.0,
+        description="the ESwitch-style cacheless backend: nothing to poison",
+    ),
+)
+SCENARIOS.register(
+    "calico-mask-limit",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-mask-limit",
+        defenses=(DefenseUse("mask-limit"),),
+        duration=120.0,
+        attack_start=30.0,
+        description="mitigation: 64-mask budget, overflow degraded to exact",
+    ),
+)
+SCENARIOS.register(
+    "calico-rate-limit",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-rate-limit",
+        defenses=(DefenseUse("rate-limit"),),
+        duration=120.0,
+        attack_start=30.0,
+        description="mitigation: per-tenant install rate limiting (weak)",
+    ),
+)
+SCENARIOS.register(
+    "calico-prefix-rounding",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-prefix-rounding",
+        defenses=(DefenseUse("prefix-rounding"),),
+        duration=120.0,
+        attack_start=30.0,
+        description="mitigation: coarse-grained wildcarding (g=8)",
+    ),
+)
+SCENARIOS.register(
+    "calico-detector",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-detector",
+        defenses=(DefenseUse("detector"),),
+        duration=120.0,
+        attack_start=30.0,
+        description="mitigation: mask-anomaly detection + tenant eviction",
+    ),
+)

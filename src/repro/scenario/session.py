@@ -1,0 +1,368 @@
+"""The Session facade: one object that runs any scenario end to end.
+
+A :class:`Session` resolves a :class:`~repro.scenario.spec.ScenarioSpec`
+against the registries, builds the datapath backend, compiles the CMS
+policy, runs the campaign through the perf layer, and returns a uniform
+:class:`ScenarioResult` — series, mask counts, degradation, scan stats,
+CSV/render hooks — regardless of which cell of the scenario matrix was
+requested.
+
+Two run modes:
+
+* :meth:`Session.run` — the full timed campaign (Fig. 3-style): victim
+  workload, covert stream, defense hooks, time series.
+* :meth:`Session.measure` — the static mask probe (E1/E2/E3-style):
+  compile the policy, replay the covert stream once, report predicted
+  vs measured mask counts and the resulting megaflow table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.attack.analysis import reachable_mask_count
+from repro.attack.campaign import AttackCampaign, CampaignReport
+from repro.cms.base import PolicyTarget
+from repro.net.addresses import ip_to_int
+from repro.perf.costmodel import CostModel
+from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.scenario.datapath import Datapath
+from repro.scenario.registry import BACKENDS, DEFENSES, PROFILES, SURFACES, Surface
+from repro.scenario.spec import ScenarioSpec
+from repro.util.ascii_chart import AsciiChart, AsciiTable
+
+if TYPE_CHECKING:
+    from repro.perf.series import TimeSeries
+    from repro.perf.simulator import SimulationResult
+
+#: replay bursts up to this size go through the full cache pipeline
+#: (``process_batch``); larger covert sets take the known-miss slow-path
+#: shortcut to avoid a quadratic TSS miss-scan bill in Python
+FULL_PIPELINE_REPLAY_LIMIT = 1024
+
+
+@dataclass
+class MaskProbe:
+    """Outcome of a static replay: predicted vs measured mask counts."""
+
+    predicted: int
+    measured: int
+    #: the resulting megaflow table as (key, mask, action) text rows,
+    #: in install order (empty for backends without a megaflow cache)
+    rows: list[tuple[str, str, str]]
+    datapath: Datapath
+
+    @property
+    def matches_prediction(self) -> bool:
+        return self.predicted == self.measured
+
+
+@dataclass
+class DefenseOutcome:
+    """One defense's post-run accounting."""
+
+    name: str
+    label: str
+    tradeoff: str
+
+
+@dataclass
+class ScenarioResult:
+    """The uniform result every Session run returns."""
+
+    spec: ScenarioSpec
+    report: CampaignReport | None = None
+    probe: MaskProbe | None = None
+    defenses: list[DefenseOutcome] = field(default_factory=list)
+    datapath: Datapath | None = None
+    #: settle seconds before post-attack means are representative
+    settle: float = 10.0
+
+    # -- uniform accessors ---------------------------------------------------
+
+    @property
+    def simulation(self) -> "SimulationResult":
+        if self.report is None:
+            raise ValueError(f"scenario {self.spec.name!r} ran in probe mode (no series)")
+        return self.report.simulation
+
+    @property
+    def series(self) -> "TimeSeries":
+        return self.simulation.series
+
+    def final_mask_count(self) -> int:
+        """Masks at the end of the run (either mode)."""
+        if self.report is not None:
+            return self.simulation.final_mask_count()
+        assert self.probe is not None
+        return self.probe.measured
+
+    def pre_attack_mean_bps(self) -> float:
+        return self.simulation.pre_attack_mean_bps()
+
+    def post_attack_mean_bps(self, settle: float | None = None) -> float:
+        return self.simulation.post_attack_mean_bps(
+            settle=self.settle if settle is None else settle
+        )
+
+    def degradation(self, settle: float | None = None) -> float:
+        """Post-attack victim throughput as a fraction of pre-attack."""
+        return self.post_attack_mean_bps(settle) / self.pre_attack_mean_bps()
+
+    def scan_stats(self) -> dict[str, float]:
+        """Datapath-level scan accounting, where the backend exposes it."""
+        stats = getattr(self.datapath, "stats", None)
+        if stats is None:
+            return {}
+        return {
+            "packets": stats.packets,
+            "tuples_scanned": stats.tuples_scanned,
+            "hash_probes": stats.hash_probes,
+            "avg_tuples_per_megaflow_lookup": stats.avg_tuples_per_megaflow_lookup,
+        }
+
+    # -- hooks ---------------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Dump the run as CSV: the time series (campaign mode) or the
+        megaflow table plus counts (probe mode).  ``path`` may be a
+        directory — existing, or spelled with a trailing separator
+        (``to_csv("out/")``) — in which case it is created and
+        ``<scenario-name>.csv`` is written inside it."""
+        target = Path(path)
+        if target.is_dir() or str(path).endswith(("/", "\\")):
+            target = target / f"{self.spec.name}.csv"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if self.report is not None:
+            self.series.to_csv(target)
+            return target
+        assert self.probe is not None
+        lines = ["key,mask,action"]
+        lines += [",".join(f'"{cell}"' for cell in row) for row in self.probe.rows]
+        lines.append(f'"# predicted_masks={self.probe.predicted}",'
+                     f'"measured_masks={self.probe.measured}",""')
+        target.write_text("\n".join(lines) + "\n")
+        return target
+
+    def headline(self) -> str:
+        """The paper-style one-liner."""
+        if self.report is not None:
+            return self.report.headline()
+        assert self.probe is not None
+        return (
+            f"masks predicted={self.probe.predicted} measured={self.probe.measured} "
+            f"({'match' if self.probe.matches_prediction else 'MISMATCH'})"
+        )
+
+    def render(self) -> str:
+        """Human-readable report: two stacked panels for campaigns, the
+        megaflow table for probes."""
+        if self.report is None:
+            assert self.probe is not None
+            table = AsciiTable(
+                ["Key", "Mask", "Action"],
+                title=f"{self.spec.name} — resulting megaflow table",
+            )
+            for row in self.probe.rows:
+                table.add_row(row)
+            return table.render() + "\n=> " + self.headline()
+
+        sim = self.simulation
+        times = self.series.column("t")
+        throughput = AsciiChart(
+            title=f"{self.spec.name}: victim throughput [Gbps] vs time [s]",
+            width=75,
+            height=12,
+        )
+        throughput.add_series(
+            "victim", times, [v / 1e9 for v in self.series.column("victim_throughput_bps")]
+        )
+        masks = AsciiChart(
+            title=f"{self.spec.name}: # megaflow masks (log) vs time [s]",
+            width=75,
+            height=10,
+            log_y=True,
+        )
+        masks.add_series(
+            "#megaflows",
+            times,
+            [max(m, 1.0) for m in self.series.column("megaflows")],
+            marker="#",
+        )
+        lines = [throughput.render(), "", masks.render(), "", self.headline()]
+        for outcome in self.defenses:
+            lines.append(f"defense {outcome.label}: {outcome.tradeoff}")
+        return "\n".join(lines)
+
+
+class Session:
+    """Builds and runs one scenario; the single public experiment API."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec | str | dict,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if isinstance(spec, str):
+            from repro.scenario.presets import SCENARIOS
+
+            spec = SCENARIOS.get(spec)
+        elif isinstance(spec, dict):
+            spec = ScenarioSpec.from_dict(spec)
+        self.spec = spec.validate()
+        self.surface: Surface = SURFACES.get(spec.surface)
+        self.profile = PROFILES.get(spec.profile)
+        self.cost_model = cost_model or CostModel()
+        self.defenses = [
+            DEFENSES.get(use.name)(**use.params) for use in spec.defenses
+        ]
+        self.space = self.surface.space()
+        self.policy, self.dimensions = self.surface.build()
+        self.target = PolicyTarget(
+            pod_ip=ip_to_int(spec.attacker_pod_ip),
+            output_port=42,
+            tenant="mallory",
+            pod_name="mallory-pod",
+        )
+
+    # -- building blocks -----------------------------------------------------
+
+    def build_datapath(self, name: str | None = None) -> Datapath:
+        """The configured backend with every defense guard attached."""
+        builder = BACKENDS.get(self.spec.backend)
+        datapath = builder(
+            profile=self.profile,
+            space=self.space,
+            name=name or f"{self.spec.name}-node",
+            seed=self.spec.seed,
+            staged=self.spec.staged_lookup,
+        )
+        for defense in self.defenses:
+            defense.attach(datapath)
+        return datapath
+
+    def build_campaign(self, datapath: Datapath | None = None) -> AttackCampaign:
+        """The attack campaign for a full timed run."""
+        if not self.surface.is_campaign:
+            raise ValueError(
+                f"surface {self.surface.name!r} has no CMS compiler; only "
+                f"Session.measure() applies (campaign surfaces: "
+                f"{[n for n, s in SURFACES.items() if s.is_campaign]})"
+            )
+        spec = self.spec
+        assert self.surface.cms_factory is not None
+        return AttackCampaign(
+            cms=self.surface.cms_factory(),
+            policy=self.policy,
+            dimensions=self.dimensions,
+            attacker_pod_ip=self.target.pod_ip,
+            victim=VictimWorkload(
+                offered_bps=spec.victim_offered_bps,
+                frame_bytes=spec.victim_frame_bytes,
+                concurrent_flows=spec.victim_concurrent_flows,
+                new_flows_per_sec=spec.victim_new_flows_per_sec,
+            ),
+            attacker=AttackerWorkload(
+                rate_bps=spec.covert_rate_bps,
+                frame_bytes=spec.covert_frame_bytes,
+                start_time=spec.attack_start,
+            ),
+            inject_time=spec.inject_time,
+            duration=spec.duration,
+            cost_model=self.cost_model,
+            switch=datapath or self.build_datapath(),
+            space=self.space,
+            noise=spec.noise,
+            seed=spec.seed,
+        )
+
+    # -- running -------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        """Execute the scenario: the full timed campaign for CMS
+        surfaces, the static mask probe otherwise."""
+        if not self.surface.is_campaign:
+            return self.run_probe()
+
+        datapath = self.build_datapath()
+        campaign = self.build_campaign(datapath)
+        report = campaign.run(
+            extra_events=[
+                event
+                for defense in self.defenses
+                for event in defense.events(self.spec.attack_start)
+            ]
+        )
+        return ScenarioResult(
+            spec=self.spec,
+            report=report,
+            defenses=self._defense_outcomes(),
+            datapath=datapath,
+            settle=max((d.settle for d in self.defenses), default=10.0),
+        )
+
+    def measure(self) -> MaskProbe:
+        """Static replay: compile the policy into a fresh datapath, feed
+        the covert stream once, report predicted vs measured masks.
+
+        Small streams go through the real cache pipeline in one
+        :meth:`~repro.ovs.switch.OvsSwitch.process_batch` call; large
+        ones (the 8192-key Calico set) use the known-miss slow-path
+        shortcut, which installs identical state without the quadratic
+        miss-scan bill.
+        """
+        datapath = self.build_datapath(name=f"{self.spec.name}-probe")
+        rules = self.surface.compile_rules(self.policy, self.target, self.space)
+        datapath.add_rules(rules)
+        keys = self.surface.covert_keys(self.dimensions, self.target, self.space)
+        if len(keys) <= FULL_PIPELINE_REPLAY_LIMIT:
+            datapath.process_batch(keys, now=0.0)
+        else:
+            for key in keys:
+                datapath.handle_miss(key, now=0.0)
+        return MaskProbe(
+            predicted=reachable_mask_count(self.dimensions),
+            measured=datapath.mask_count,
+            rows=_megaflow_rows(datapath),
+            datapath=datapath,
+        )
+
+    def run_probe(self) -> ScenarioResult:
+        """:meth:`measure`, wrapped in the uniform result type (what
+        :meth:`run` returns for measure-only surfaces)."""
+        probe = self.measure()
+        return ScenarioResult(
+            spec=self.spec,
+            probe=probe,
+            defenses=self._defense_outcomes(),
+            datapath=probe.datapath,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _defense_outcomes(self) -> list[DefenseOutcome]:
+        return [
+            DefenseOutcome(name=use.name, label=defense.label, tradeoff=defense.tradeoff())
+            for use, defense in zip(self.spec.defenses, self.defenses)
+        ]
+
+
+def _megaflow_rows(datapath: Datapath) -> list[tuple[str, str, str]]:
+    """The megaflow cache as (key, mask, action) text rows in install
+    order — the format of the paper's Fig. 2b."""
+    megaflow = getattr(datapath, "megaflow", None)
+    if megaflow is None:
+        return []
+    space = datapath.space
+    rows = []
+    for entry in megaflow.entries():
+        key_text = ",".join(
+            spec.format(value) for spec, value in zip(space.specs, entry.match.values)
+        )
+        mask_text = ",".join(
+            spec.format(mask) for spec, mask in zip(space.specs, entry.match.masks)
+        )
+        rows.append((key_text, mask_text, entry.action.kind))
+    return rows

@@ -1,0 +1,82 @@
+"""String-keyed registries: the naming layer behind the Scenario API.
+
+Every pluggable axis of an experiment — attack surface, datapath
+profile, defense, classifier backend, named scenario — is a
+:class:`Registry` mapping short names to objects, so scenarios are
+constructible from names and dicts (CLI- and JSON-friendly) instead of
+hand-wired imports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class UnknownNameError(KeyError):
+    """A registry lookup for a name that was never registered.
+
+    Subclasses :class:`KeyError` so legacy ``except KeyError`` call
+    sites keep working; the message always lists the valid choices.
+    """
+
+    def __init__(self, kind: str, name: str, choices: list[str]) -> None:
+        super().__init__(name)
+        self.kind = kind
+        self.name = name
+        self.choices = choices
+
+    def __str__(self) -> str:
+        return f"unknown {self.kind} {self.name!r}; available: {self.choices}"
+
+
+class Registry(Generic[T]):
+    """An ordered name -> object mapping with self-describing errors.
+
+    Registration order is preserved (experiments iterate surfaces in
+    the order the paper presents them).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._items: dict[str, T] = {}
+
+    def register(self, name: str, obj: T | None = None) -> T | Callable[[T], T]:
+        """Register ``obj`` under ``name``; usable as a decorator when
+        ``obj`` is omitted.  Re-registering a name is an error (shadowing
+        a surface silently would corrupt experiment tables)."""
+        if obj is None:
+            def decorator(target: T) -> T:
+                self.register(name, target)
+                return target
+            return decorator
+        if name in self._items:
+            raise ValueError(f"{self.kind} {name!r} already registered")
+        self._items[name] = obj
+        return obj
+
+    def get(self, name: str) -> T:
+        """Look up a name; unknown names raise :class:`UnknownNameError`
+        listing every valid choice."""
+        try:
+            return self._items[name]
+        except KeyError:
+            raise UnknownNameError(self.kind, name, self.names()) from None
+
+    def names(self) -> list[str]:
+        """Registered names in registration order."""
+        return list(self._items)
+
+    def items(self) -> Iterator[tuple[str, T]]:
+        """``(name, object)`` pairs in registration order."""
+        return iter(self._items.items())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind}: {self.names()})"

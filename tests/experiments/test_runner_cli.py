@@ -24,8 +24,14 @@ class TestRunner:
 
     def test_csv_output(self, tmp_path, capsys):
         assert runner_main(["fig2", "--csv", str(tmp_path)]) == 0
-        # fig2 writes no CSV but the directory must exist for others
-        assert tmp_path.exists()
+        # every experiment routes through ScenarioResult.to_csv now
+        assert (tmp_path / "fig2.csv").exists()
+        assert "00001010" in (tmp_path / "fig2.csv").read_text()
+
+    def test_csv_output_per_scenario(self, tmp_path, capsys):
+        assert runner_main(["masks", "--csv", str(tmp_path)]) == 0
+        for name in ("prefix8", "k8s", "openstack", "calico"):
+            assert (tmp_path / f"masks-{name}.csv").exists()
 
 
 class TestCliPlan:

@@ -213,3 +213,66 @@ class TestNonOverlapInvariant:
             assert result.hit and result.entry in matching
         else:
             assert not result.hit
+
+
+class TestLazyStageRebuild:
+    """Subtable.remove must only mark the stage index dirty; the rebuild
+    happens once, on the next staged lookup (regression: it used to
+    rebuild O(entries x stages) eagerly on every removal)."""
+
+    def _staged_single_field(self):
+        tss = TupleSpaceSearch(toy_single_field_space(), staged=True)
+        for value in (0x10, 0x20, 0x30):
+            tss.insert((0xF0,), (value,), f"e{value:x}")
+        return tss, tss.find_subtable((0xF0,))
+
+    def test_remove_defers_rebuild(self):
+        _tss, subtable = self._staged_single_field()
+        subtable.remove((0x20,))
+        # no eager rebuild: the removed entry's partial key is stale
+        assert subtable._stage_dirty
+        assert (0x20,) in subtable._stage_index[0]
+
+    def test_lookup_rebuilds_once_and_is_correct(self):
+        tss, subtable = self._staged_single_field()
+        subtable.remove((0x20,))
+        space = toy_single_field_space()
+        # the removed entry no longer matches...
+        assert not tss.lookup(FlowKey(space, {"ip_src": 0x25})).hit
+        # ...the rebuild ran exactly once, dropping the stale partial
+        assert not subtable._stage_dirty
+        assert (0x20,) not in subtable._stage_index[0]
+        # ...and surviving entries still match
+        assert tss.lookup(FlowKey(space, {"ip_src": 0x11})).entry == "e10"
+
+    def test_bulk_removal_pays_one_rebuild(self, monkeypatch):
+        tss, subtable = self._staged_single_field()
+        rebuilds = []
+        original = type(subtable)._rebuild_stage_index
+
+        def counting(self):
+            rebuilds.append(1)
+            return original(self)
+
+        monkeypatch.setattr(type(subtable), "_rebuild_stage_index", counting)
+        subtable.remove((0x10,))
+        subtable.remove((0x20,))
+        assert rebuilds == []  # removals are free
+        tss.lookup(FlowKey(toy_single_field_space(), {"ip_src": 0x35}))
+        assert len(rebuilds) == 1  # one rebuild for the whole burst
+
+    def test_insert_while_dirty_is_covered_by_rebuild(self):
+        tss, subtable = self._staged_single_field()
+        subtable.remove((0x20,))
+        tss.insert((0xF0,), (0x40,), "e40")
+        assert subtable._stage_dirty  # insert does not clear the debt
+        space = toy_single_field_space()
+        assert tss.lookup(FlowKey(space, {"ip_src": 0x42})).entry == "e40"
+        assert not subtable._stage_dirty
+
+    def test_staged_scan_still_counts_probes(self):
+        tss, subtable = self._staged_single_field()
+        subtable.remove((0x30,))
+        result = tss.lookup(FlowKey(toy_single_field_space(), {"ip_src": 0x11}))
+        assert result.hit
+        assert result.hash_probes >= 1

@@ -1,0 +1,152 @@
+"""Tests for the Session facade: probe mode, campaign mode, backends,
+defenses, CSV hooks and the CLI scenario command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.fig2 import FIG2B_EXPECTED
+from repro.scenario import SCENARIOS, ScenarioSpec, Session
+
+
+@pytest.fixture(scope="module")
+def calico_result():
+    spec = SCENARIOS.get("calico").evolve(duration=50.0, attack_start=15.0)
+    return Session(spec).run()
+
+
+class TestProbeMode:
+    def test_fig2_rows_match_paper(self):
+        result = Session("fig2").run()
+        assert result.probe is not None
+        assert set(result.probe.rows) == set(FIG2B_EXPECTED)
+        assert result.final_mask_count() == 8
+
+    def test_series_unavailable_in_probe_mode(self):
+        result = Session("fig2").run()
+        with pytest.raises(ValueError):
+            _ = result.series
+
+    def test_measure_matches_prediction_through_full_pipeline(self):
+        # 512 keys stay under the full-pipeline threshold: the whole
+        # covert stream runs through process_batch and the measured
+        # mask count still matches the closed form
+        probe = Session(ScenarioSpec(surface="k8s")).measure()
+        assert probe.predicted == probe.measured == 512
+        assert probe.datapath.stats.packets == 512
+
+    def test_probe_csv(self, tmp_path):
+        result = Session("fig2").run()
+        written = result.to_csv(tmp_path)
+        text = written.read_text()
+        assert written.name == "fig2.csv"
+        assert "00001010" in text and "measured_masks=8" in text
+
+
+class TestCampaignMode:
+    def test_full_dos(self, calico_result):
+        assert calico_result.final_mask_count() >= 8192
+        assert calico_result.degradation() < 0.05
+
+    def test_uniform_accessors(self, calico_result):
+        assert calico_result.pre_attack_mean_bps() == pytest.approx(1e9, rel=0.05)
+        assert len(calico_result.series) == 50
+        stats = calico_result.scan_stats()
+        assert stats["packets"] > 0
+
+    def test_csv_dump(self, calico_result, tmp_path):
+        written = calico_result.to_csv(tmp_path)
+        assert written.name == "calico.csv"
+        header = written.read_text().splitlines()[0]
+        assert "victim_throughput_bps" in header and "masks" in header
+
+    def test_render_mentions_masks_and_throughput(self, calico_result):
+        text = calico_result.render()
+        assert "victim throughput" in text
+        assert "megaflow masks" in text
+
+    def test_session_accepts_spec_dicts(self):
+        result = Session(
+            {"surface": "prefix8", "duration": 20.0, "attack_start": 5.0}
+        ).run()
+        assert result.final_mask_count() == 8
+
+    def test_measure_only_surface_rejects_campaign(self):
+        with pytest.raises(ValueError):
+            Session("fig2").build_campaign()
+
+
+class TestBackendsAndDefenses:
+    def test_cacheless_backend_is_attack_independent(self):
+        spec = SCENARIOS.get("calico-cacheless").evolve(
+            duration=30.0, attack_start=8.0
+        )
+        result = Session(spec).run()
+        # nothing to poison: throughput stays at the offered load
+        assert result.degradation() > 0.95
+        assert result.final_mask_count() < 16  # static rule groups
+
+    def test_cacheless_rejects_install_guards(self):
+        spec = ScenarioSpec(
+            surface="calico", backend="cacheless", defenses=("mask-limit",)
+        )
+        with pytest.raises(ValueError):
+            Session(spec).build_datapath()
+
+    def test_guard_defense_bounds_masks(self):
+        spec = SCENARIOS.get("calico-mask-limit").evolve(
+            duration=40.0, attack_start=10.0
+        )
+        result = Session(spec).run()
+        assert result.final_mask_count() <= 65
+        assert result.defenses[0].label == "mask limit (64)"
+        assert "degraded" in result.defenses[0].tradeoff
+
+    def test_detector_defense_recovers(self):
+        spec = SCENARIOS.get("calico-detector").evolve(
+            duration=60.0, attack_start=15.0
+        )
+        result = Session(spec).run()
+        assert result.final_mask_count() <= 8
+        assert "mallory" in result.defenses[0].tradeoff
+        # settle accounts for the response lag automatically
+        assert result.degradation() > 0.9
+
+
+class TestCliScenario:
+    def test_list(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "cacheless" in out and "detector" in out
+
+    def test_run_named_scenario(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "prefix8",
+                    "--duration",
+                    "20",
+                    "--attack-start",
+                    "5",
+                    "--csv",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "masks=" in out
+        assert (tmp_path / "prefix8.csv").exists()
+
+    def test_probe_scenario_via_cli(self, capsys):
+        assert main(["scenario", "fig2"]) == 0
+        assert "megaflow table" in capsys.readouterr().out
+
+    def test_unknown_scenario_lists_choices(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "figure-null"])
+        assert "fig3" in str(excinfo.value)
+
+    def test_name_required_without_list(self):
+        with pytest.raises(SystemExit):
+            main(["scenario"])
