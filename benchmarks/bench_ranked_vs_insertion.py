@@ -1,0 +1,180 @@
+"""Wall-clock: the packed-key + ranked TSS vs the tuple/insertion baseline.
+
+Times real ``TupleSpaceSearch.lookup`` calls — the same megaflow
+population and lookup streams as the E8 ablation
+(:mod:`repro.experiments.ranking`), measured with ``perf_counter``
+instead of counted — and emits a ``BENCH_ranked.json`` perf record so
+CI accumulates the trajectory.
+
+Three configurations over two traffic shapes:
+
+* ``tuple/insertion``   — the reference implementation (the seed's path);
+* ``packed/insertion``  — packed-integer keys, same scan order;
+* ``packed/ranked``     — packed keys plus pvector subtable ranking.
+
+Expected outcome (the acceptance criterion): on the *benign-skewed*
+stream ``packed/ranked`` is measurably faster than ``tuple/insertion``
+(ranking shortens the scan, packing cheapens each probe), while on the
+*attack* stream ranking buys nothing — the covert hits are uniform
+across subtables, so only the packed constant factor survives.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ranked_vs_insertion.py          # full
+    PYTHONPATH=src python benchmarks/bench_ranked_vs_insertion.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.ranking import (  # noqa: E402
+    attack_stream,
+    benign_stream,
+    build_attacked_switch,
+    megaflow_keys,
+)
+from repro.util.rng import DeterministicRng  # noqa: E402
+
+CONFIGS = (
+    ("tuple", "insertion"),
+    ("packed", "insertion"),
+    ("packed", "ranked"),
+)
+
+TRAFFICS = ("benign-skewed", "attack")
+
+
+def _measure(n_masks: int, lookups: int, warmup: int, seed: int,
+             resort_interval: int) -> list[dict]:
+    results = []
+    for traffic in TRAFFICS:
+        for key_mode, scan_order in CONFIGS:
+            switch = build_attacked_switch(
+                n_masks,
+                scan_order=scan_order,
+                key_mode=key_mode,
+                resort_interval=resort_interval,
+            )
+            keys = megaflow_keys(switch)
+            if traffic == "benign-skewed":
+                stream = benign_stream(keys, warmup + lookups,
+                                       DeterministicRng(seed))
+            else:
+                stream = attack_stream(keys, warmup + lookups)
+            tss = switch.megaflow.tss
+            lookup = tss.lookup
+            for key in stream[:warmup]:
+                lookup(key)
+            base_scanned = tss.total_tuples_scanned
+            measured = stream[warmup:]
+            start = time.perf_counter()
+            for key in measured:
+                lookup(key)
+            elapsed = time.perf_counter() - start
+            results.append(
+                {
+                    "traffic": traffic,
+                    "key_mode": key_mode,
+                    "scan_order": scan_order,
+                    "lookups": len(measured),
+                    "seconds": elapsed,
+                    "lookups_per_sec": len(measured) / elapsed,
+                    "avg_tuples_scanned": (
+                        (tss.total_tuples_scanned - base_scanned) / len(measured)
+                    ),
+                }
+            )
+            print(
+                f"{traffic:14s} {key_mode}/{scan_order:10s} "
+                f"{results[-1]['lookups_per_sec']:>10.0f} lookups/s  "
+                f"avg scan {results[-1]['avg_tuples_scanned']:.1f}"
+            )
+    return results
+
+
+def _rate(results: list[dict], traffic: str, key_mode: str,
+          scan_order: str) -> float:
+    for row in results:
+        if (row["traffic"], row["key_mode"], row["scan_order"]) == (
+            traffic, key_mode, scan_order
+        ):
+            return row["lookups_per_sec"]
+    raise KeyError((traffic, key_mode, scan_order))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--masks", type=int, default=None,
+                        help="subtable count (default 512, quick 128)")
+    parser.add_argument("--lookups", type=int, default=None,
+                        help="measured lookups (default 4096, quick 768)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup lookups (default 2048, quick 512)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--resort-interval", type=int, default=128)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_ranked.json"))
+    args = parser.parse_args(argv)
+
+    n_masks = args.masks or (128 if args.quick else 512)
+    lookups = args.lookups or (768 if args.quick else 4096)
+    warmup = args.warmup or (512 if args.quick else 2048)
+
+    results = _measure(n_masks, lookups, warmup, args.seed,
+                       args.resort_interval)
+
+    ratios = {
+        # the headline: packed+ranked vs the tuple/insertion baseline on
+        # benign heavy-tailed traffic
+        "benign_packed_ranked_vs_tuple_insertion": (
+            _rate(results, "benign-skewed", "packed", "ranked")
+            / _rate(results, "benign-skewed", "tuple", "insertion")
+        ),
+        # the packed constant factor alone (same order, same stream)
+        "benign_packed_vs_tuple_insertion": (
+            _rate(results, "benign-skewed", "packed", "insertion")
+            / _rate(results, "benign-skewed", "tuple", "insertion")
+        ),
+        # ranking's contribution on benign traffic (same key mode)
+        "benign_ranked_vs_insertion": (
+            _rate(results, "benign-skewed", "packed", "ranked")
+            / _rate(results, "benign-skewed", "packed", "insertion")
+        ),
+        # the attack shows no ranking benefit (≈1.0 by construction)
+        "attack_ranked_vs_insertion": (
+            _rate(results, "attack", "packed", "ranked")
+            / _rate(results, "attack", "packed", "insertion")
+        ),
+    }
+
+    record = {
+        "benchmark": "ranked_vs_insertion",
+        "quick": args.quick,
+        "params": {
+            "masks": n_masks,
+            "lookups": lookups,
+            "warmup": warmup,
+            "seed": args.seed,
+            "resort_interval": args.resort_interval,
+        },
+        "results": results,
+        "ratios": ratios,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\nwrote {args.output}")
+    for name, value in ratios.items():
+        print(f"  {name}: {value:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

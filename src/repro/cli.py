@@ -33,6 +33,7 @@ from pathlib import Path
 from repro.attack.analysis import predict, required_refresh_bps
 from repro.attack.packets import CovertStreamGenerator
 from repro.net.addresses import ip_to_int
+from repro.ovs.tss import KEY_MODES, SCAN_ORDERS
 from repro.scenario import BACKENDS, DEFENSES, PROFILES, SCENARIOS, SURFACES, Session
 from repro.util.units import format_bps
 
@@ -96,6 +97,8 @@ def _print_scenario_list() -> None:
     print("\nprofiles:    " + ", ".join(PROFILES.names()))
     print("backends:    " + ", ".join(BACKENDS.names()))
     print("defenses:    " + ", ".join(DEFENSES.names()))
+    print("scan orders: " + ", ".join(SCAN_ORDERS) + " (--scan-order)")
+    print("key modes:   " + ", ".join(KEY_MODES) + " (--key-mode)")
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
@@ -110,7 +113,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     except KeyError as exc:
         raise SystemExit(str(exc))
     overrides = {}
-    for field_name in ("duration", "attack_start", "seed", "profile", "backend"):
+    for field_name in ("duration", "attack_start", "seed", "profile", "backend",
+                       "scan_order", "key_mode"):
         value = getattr(args, field_name)
         if value is not None:
             overrides[field_name] = value
@@ -178,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=None)
     scenario.add_argument("--profile", choices=PROFILES.names(), default=None)
     scenario.add_argument("--backend", choices=BACKENDS.names(), default=None)
+    scenario.add_argument("--scan-order", choices=list(SCAN_ORDERS),
+                          default=None, dest="scan_order",
+                          help="TSS subtable visit order (default: profile's)")
+    scenario.add_argument("--key-mode", choices=list(KEY_MODES),
+                          default=None, dest="key_mode",
+                          help="TSS hash-key representation (default: packed)")
     scenario.add_argument("--defense", action="append", default=None,
                           metavar="NAME", help="activate a defense (repeatable)")
     scenario.add_argument("--csv", type=Path, default=None, metavar="DIR",

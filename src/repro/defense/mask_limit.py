@@ -5,6 +5,14 @@ hard cap on masks bounds the worst-case lookup cost regardless of what
 tenants inject.  When the cap is hit, a megaflow whose mask would be new
 is degraded to an **exact-match** entry (it joins the all-exact subtable,
 which exists at most once) or simply not cached, depending on ``mode``.
+
+The cap is *inclusive of the all-exact subtable*: in ``"exact"`` mode
+one budget slot is reserved for it while it does not exist yet, so
+degradation always has somewhere to go and ``mask_count`` can never
+exceed ``max_masks`` — the hard cap really is hard.  (A previous
+off-by-one created the exact subtable as subtable ``max_masks + 1``
+when the budget was already full, silently corrupting the defense
+experiments' worst-case scan bound.)
 """
 
 from __future__ import annotations
@@ -31,19 +39,34 @@ class MaskLimitGuard:
         tss = context.cache.tss
         if tss.find_subtable(masks) is not None:
             return None  # mask already exists: no new subtable
-        if tss.mask_count < self.max_masks:
-            return None  # budget available
         if self.mode == "reject":
+            if tss.mask_count < self.max_masks:
+                return None  # budget available
             self.rejected += 1
             raise InstallRejected(
                 f"mask budget exhausted ({self.max_masks}); not caching"
             )
+        # "exact" mode: the cap counts the all-exact subtable too, so
+        # while it does not exist one slot stays reserved for it
         exact = FlowMatch.exact(context.match.space, context.key)
-        if tss.find_subtable(exact.mask_signature()) is None and (
-            tss.mask_count >= self.max_masks + 1
-        ):
-            # even the exact subtable cannot be created within budget+1
+        exact_masks = exact.mask_signature()
+        exact_exists = tss.find_subtable(exact_masks) is not None
+        if masks == exact_masks:
+            # the new mask IS the all-exact mask: it fits iff under cap
+            if tss.mask_count < self.max_masks:
+                return None
             self.rejected += 1
-            raise InstallRejected("mask budget exhausted; not caching")
+            raise InstallRejected(
+                f"mask budget exhausted ({self.max_masks}); not caching"
+            )
+        budget = self.max_masks if exact_exists else self.max_masks - 1
+        if tss.mask_count < budget:
+            return None  # budget available (reserved slot untouched)
+        if not exact_exists and tss.mask_count >= self.max_masks:
+            # cannot even create the exact subtable within the cap
+            self.rejected += 1
+            raise InstallRejected(
+                f"mask budget exhausted ({self.max_masks}); not caching"
+            )
         self.degraded += 1
         return exact

@@ -35,6 +35,9 @@ class DegradationRow:
     capacity_ratio: float
     #: end-to-end victim throughput, post-attack / pre-attack
     victim_ratio: float
+    #: measured mean subtables scanned per megaflow lookup (from the
+    #: datapath's :meth:`~repro.ovs.stats.SwitchStats.snapshot`)
+    avg_tuples_per_lookup: float = 0.0
     #: the underlying Session result (CSV hook, series access)
     result: ScenarioResult | None = field(default=None, repr=False)
 
@@ -63,6 +66,7 @@ def run_degradation_sweep(
         )
         result = Session(spec, cost_model=model).run()
         masks = result.final_mask_count()
+        scan = result.scan_stats()
         rows.append(
             DegradationRow(
                 surface=surface.short_label,
@@ -70,6 +74,9 @@ def run_degradation_sweep(
                 masks=masks,
                 capacity_ratio=model.degradation_ratio(masks),
                 victim_ratio=result.degradation(),
+                avg_tuples_per_lookup=scan.get(
+                    "avg_tuples_per_megaflow_lookup", 0.0
+                ),
                 result=result,
             )
         )
@@ -79,7 +86,8 @@ def run_degradation_sweep(
 def render(rows: list[DegradationRow]) -> str:
     """Tabulate the sweep (the paper's headline row is kubernetes/512)."""
     table = AsciiTable(
-        ["Surface", "CMS", "Masks", "Peak capacity", "Reduction", "Victim tput"],
+        ["Surface", "CMS", "Masks", "Avg scan", "Peak capacity", "Reduction",
+         "Victim tput"],
         title="Headline degradation sweep (E5)",
     )
     for row in rows:
@@ -88,6 +96,7 @@ def render(rows: list[DegradationRow]) -> str:
                 row.surface,
                 row.cms,
                 row.masks,
+                f"{row.avg_tuples_per_lookup:.1f}",
                 f"{row.capacity_ratio:.1%} of peak",
                 f"{row.reduction_pct:.0f}%",
                 f"{row.victim_ratio:.1%} of baseline",

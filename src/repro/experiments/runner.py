@@ -18,7 +18,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.experiments import degradation, defenses, fig2, fig3, masks
+from repro.experiments import degradation, defenses, fig2, fig3, masks, ranking
 
 
 def run_fig2_experiment(csv_dir: Path | None) -> str:
@@ -62,12 +62,22 @@ def run_defenses_experiment(csv_dir: Path | None) -> str:
     return defenses.render(rows)
 
 
+def run_ranking_experiment(csv_dir: Path | None) -> str:
+    rows = ranking.run_ranking_ablation()
+    if csv_dir is not None:
+        (csv_dir / "ranking.csv").write_text(
+            "\n".join(ranking.to_csv_rows(rows)) + "\n"
+        )
+    return ranking.render(rows)
+
+
 EXPERIMENTS = {
     "fig2": ("E1: Fig. 2b megaflow table", run_fig2_experiment),
     "masks": ("E2/E3: in-text mask counts", run_masks_experiment),
     "fig3": ("E4: Fig. 3 time series", run_fig3_experiment),
     "degradation": ("E5: headline degradation sweep", run_degradation_experiment),
     "defenses": ("E7: mitigation ablation", run_defenses_experiment),
+    "ranking": ("E8: subtable-ranking ablation", run_ranking_experiment),
 }
 
 

@@ -18,7 +18,7 @@ materialises exactly in megaflows rather than bit-wise un-wildcarding.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.net.addresses import int_to_ip
 from repro.util.bits import ones, to_binary
@@ -71,6 +71,14 @@ class FieldSpace:
         self.name = name
         self.specs: tuple[FieldSpec, ...] = tuple(specs)
         self._index: dict[str, int] = {spec.name: i for i, spec in enumerate(specs)}
+        # fixed bit layout: field 0 occupies the most significant bits,
+        # mirroring the tuple order, so packed ints compare like tuples
+        offsets: list[int] = []
+        shift = sum(spec.width for spec in self.specs)
+        for spec in self.specs:
+            shift -= spec.width
+            offsets.append(shift)
+        self._offsets: tuple[int, ...] = tuple(offsets)
 
     def __iter__(self) -> Iterator[FieldSpec]:
         return iter(self.specs)
@@ -106,6 +114,37 @@ class FieldSpace:
         """Sum of all field widths (an upper bound on mask diversity per
         the *additive* model; the multiplicative bound is the product)."""
         return sum(spec.width for spec in self.specs)
+
+    # -- packed-integer layout ---------------------------------------------
+
+    @property
+    def offsets(self) -> tuple[int, ...]:
+        """Bit offset of each field within the packed-integer layout
+        (field 0 at the most significant end, matching tuple order)."""
+        return self._offsets
+
+    def offset_of(self, name: str) -> int:
+        """Bit offset of one field within the packed layout."""
+        return self._offsets[self.index_of(name)]
+
+    def pack(self, values: Sequence[int]) -> int:
+        """Pack an aligned value (or mask) tuple into a single integer.
+
+        Because fields occupy disjoint bit ranges, masking distributes
+        over packing: ``pack(v & m per field) == pack(v) & pack(m)`` —
+        the identity the TSS packed-key fast path relies on.
+        """
+        packed = 0
+        for value, offset in zip(values, self._offsets):
+            packed |= value << offset
+        return packed
+
+    def unpack(self, packed: int) -> tuple[int, ...]:
+        """Inverse of :meth:`pack`: the aligned value tuple."""
+        return tuple(
+            (packed >> offset) & spec.max_value
+            for spec, offset in zip(self.specs, self._offsets)
+        )
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{s.name}:{s.width}" for s in self.specs)

@@ -17,9 +17,13 @@ class FlowKey:
     Unspecified fields default to zero, which mirrors how OVS zero-fills
     flow-key members that a packet does not carry (e.g. ``tp_src`` for a
     non-TCP/UDP packet).
+
+    The key also lazily caches its :attr:`packed` integer form (the
+    space's fixed bit layout), which the TSS packed-key fast path masks
+    with one ``&`` per subtable instead of a per-field comprehension.
     """
 
-    __slots__ = ("space", "values")
+    __slots__ = ("space", "values", "_packed")
 
     def __init__(self, space: FieldSpace, values: Mapping[str, int] | None = None) -> None:
         self.space = space
@@ -29,6 +33,7 @@ class FlowKey:
                 spec = space.spec(name)
                 filled[space.index_of(name)] = spec.check(value)
         self.values: tuple[int, ...] = tuple(filled)
+        self._packed: int | None = None
 
     @classmethod
     def from_tuple(cls, space: FieldSpace, values: tuple[int, ...]) -> "FlowKey":
@@ -40,7 +45,16 @@ class FlowKey:
         key = cls.__new__(cls)
         key.space = space
         key.values = values
+        key._packed = None
         return key
+
+    @property
+    def packed(self) -> int:
+        """The packed-integer form of the key (computed once, cached)."""
+        packed = self._packed
+        if packed is None:
+            packed = self._packed = self.space.pack(self.values)
+        return packed
 
     def get(self, name: str) -> int:
         """Value of one field."""

@@ -37,11 +37,24 @@ class MegaflowEntry:
     tenant: Optional[str] = None
     #: False once evicted — lets microflow-cache references detect staleness
     alive: bool = True
+    #: the TSS subtable holding this entry (set on install) — lets
+    #: scan-bypassing refresh paths credit subtable hit counters
+    subtable: Optional[object] = field(default=None, repr=False, compare=False)
 
     def touch(self, now: float) -> None:
         """Record a hit at time ``now``."""
         self.hits += 1
         self.last_used = now
+
+    def refresh(self, now: float) -> None:
+        """Record a hit that bypassed the TSS scan (the simulator's
+        refresh fast path): touch the entry *and* credit the owning
+        subtable's hit counters, as the real datapath's lookup would —
+        this is what keeps subtable ranking honest about covert traffic
+        that spreads hits across every subtable."""
+        self.touch(now)
+        if self.subtable is not None:
+            self.subtable.credit_hit()
 
     def idle_for(self, now: float) -> float:
         """Seconds since the last hit (or installation)."""
@@ -65,11 +78,19 @@ class MegaflowCache:
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
         staged: bool = False,
         scan_order: str = "insertion",
+        key_mode: str = "packed",
+        resort_interval: int = 0,
     ) -> None:
         self.space = space
         self.flow_limit = flow_limit
         self.idle_timeout = idle_timeout
-        self.tss = TupleSpaceSearch(space, staged=staged, scan_order=scan_order)
+        self.tss = TupleSpaceSearch(
+            space,
+            staged=staged,
+            scan_order=scan_order,
+            key_mode=key_mode,
+            resort_interval=resort_interval,
+        )
         self.inserts = 0
         self.rejected_inserts = 0
         self.expired_total = 0
@@ -124,10 +145,16 @@ class MegaflowCache:
             created_at=now,
             last_used=now,
             tenant=tenant,
+            subtable=subtable,
         )
         subtable.insert(masked_values, entry)
         self.inserts += 1
         return entry
+
+    def resort_subtables(self) -> None:
+        """Re-rank the TSS subtable order by recent hits (no-op unless
+        ``scan_order="ranked"``) — the revalidator sweep's hook."""
+        self.tss.resort()
 
     def remove_entry(self, entry: MegaflowEntry) -> None:
         """Evict one entry."""

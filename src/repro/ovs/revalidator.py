@@ -23,12 +23,19 @@ class Revalidator:
         cache: MegaflowCache,
         microflow: MicroflowCache | None = None,
         sweep_interval: float = DEFAULT_SWEEP_INTERVAL,
+        resort_every: int = 1,
     ) -> None:
         if sweep_interval <= 0:
             raise ValueError("sweep_interval must be positive")
+        if resort_every < 1:
+            raise ValueError("resort_every must be >= 1")
         self.cache = cache
         self.microflow = microflow
         self.sweep_interval = sweep_interval
+        #: re-rank the TSS subtable order every Nth sweep (the
+        #: configurable re-sort interval of ``scan_order="ranked"``;
+        #: a no-op for other scan orders)
+        self.resort_every = resort_every
         self.last_sweep = 0.0
         self.sweeps = 0
         self.evicted_total = 0
@@ -47,4 +54,6 @@ class Revalidator:
         self.evicted_total += evicted
         if evicted and self.microflow is not None:
             self.microflow.invalidate_dead()
+        if self.sweeps % self.resort_every == 0:
+            self.cache.resort_subtables()
         return evicted

@@ -53,6 +53,7 @@ class SwitchStats:
             "tuples_scanned": self.tuples_scanned,
             "hash_probes": self.hash_probes,
             "emc_hit_rate": self.emc_hit_rate,
+            "avg_tuples_per_megaflow_lookup": self.avg_tuples_per_megaflow_lookup,
         }
 
     def reset(self) -> None:

@@ -117,6 +117,9 @@ class OvsSwitch:
         emc_insertion_prob: float = 1.0,
         staged_lookup: bool = False,
         scan_order: str = "insertion",
+        key_mode: str = "packed",
+        resort_interval: int = 0,
+        resort_every_sweeps: int = 1,
         rng: DeterministicRng | None = None,
     ) -> None:
         self.name = name
@@ -128,6 +131,8 @@ class OvsSwitch:
             idle_timeout=idle_timeout,
             staged=staged_lookup,
             scan_order=scan_order,
+            key_mode=key_mode,
+            resort_interval=resort_interval,
         )
         self.microflow = MicroflowCache(
             entries=emc_entries,
@@ -136,8 +141,14 @@ class OvsSwitch:
             rng=(rng or DeterministicRng(0)).fork("emc"),
         )
         self.slow_path = SlowPath(self.table, self.megaflow)
-        self.revalidator = Revalidator(self.megaflow, self.microflow)
+        self.revalidator = Revalidator(
+            self.megaflow, self.microflow, resort_every=resort_every_sweeps
+        )
         self.stats = SwitchStats()
+        #: the switch's monotonic clock: ``process``/``process_batch``/
+        #: ``advance_clock`` only ever move it forward (a stale ``now``
+        #: is clamped), so idle accounting and revalidator sweeps can
+        #: never be un-expired by an out-of-order caller
         self.clock = 0.0
 
     # -- configuration -----------------------------------------------------
@@ -173,17 +184,30 @@ class OvsSwitch:
 
     # -- datapath ----------------------------------------------------------
 
+    def _advance(self, now: float | None) -> float:
+        """Fold a caller-supplied timestamp into the monotonic clock.
+
+        The clock contract: time never moves backwards.  A stale ``now``
+        (below the current clock) is clamped to the clock rather than
+        honoured — rewinding would un-expire idle accounting and skew
+        :meth:`Revalidator.maybe_sweep`.  Returns the effective time.
+        """
+        if now is not None and now > self.clock:
+            self.clock = now
+        return self.clock
+
     def process(self, key_or_packet: FlowKey | Layer | bytes,
                 in_port: int = 0, now: float | None = None) -> PacketResult:
-        """Run one packet (or pre-extracted key) through the pipeline."""
+        """Run one packet (or pre-extracted key) through the pipeline.
+
+        ``now`` may only move the switch clock forward (see
+        :meth:`_advance`); a stale value is clamped to the current clock.
+        """
         if isinstance(key_or_packet, FlowKey):
             key = key_or_packet
         else:
             key = flow_key_from_packet(key_or_packet, in_port=in_port, space=self.space)
-        if now is None:
-            now = self.clock
-        else:
-            self.clock = now
+        now = self._advance(now)
         self.revalidator.maybe_sweep(now)
         return self._process_one(key, now)
 
@@ -196,12 +220,10 @@ class OvsSwitch:
         update and revalidator check run once for the whole burst, which
         is how a real datapath amortises per-packet overhead over a
         received batch (and how the simulator avoids paying Python call
-        overhead per victim packet).
+        overhead per victim packet).  As with :meth:`process`, a stale
+        ``now`` is clamped to the monotonic clock.
         """
-        if now is None:
-            now = self.clock
-        else:
-            self.clock = now
+        now = self._advance(now)
         self.revalidator.maybe_sweep(now)
         batch = BatchResult()
         for key in keys:
@@ -301,6 +323,22 @@ class OvsSwitch:
         return self.megaflow.tss.staged
 
     @property
+    def scan_order(self) -> str:
+        """The TSS subtable visit order (insertion / hits / ranked)."""
+        return self.megaflow.tss.scan_order
+
+    @property
+    def key_mode(self) -> str:
+        """The TSS hash-key representation (packed / tuple)."""
+        return self.megaflow.tss.key_mode
+
+    def expected_scan_depth(self) -> float:
+        """Expected subtables visited per megaflow hit under the current
+        scan order and hit distribution (see
+        :meth:`~repro.ovs.tss.TupleSpaceSearch.expected_scan_depth`)."""
+        return self.megaflow.tss.expected_scan_depth()
+
+    @property
     def cache_capacity(self) -> int:
         """Exact-match cache entries fronting the megaflow layer."""
         return self.microflow.capacity
@@ -316,9 +354,9 @@ class OvsSwitch:
         return self.megaflow.idle_timeout
 
     def advance_clock(self, now: float) -> None:
-        """Move time forward (runs due revalidator sweeps)."""
-        self.clock = now
-        self.revalidator.maybe_sweep(now)
+        """Move time forward (runs due revalidator sweeps).  A stale
+        ``now`` is clamped: the clock is monotonic."""
+        self.revalidator.maybe_sweep(self._advance(now))
 
     def __repr__(self) -> str:
         return (

@@ -32,6 +32,9 @@ class DatapathProfile:
     flow_limit: int
     #: idle timeout enforced by the revalidator, seconds
     idle_timeout: float
+    #: default TSS subtable visit order ("insertion" models the kernel
+    #: mask array; "ranked" the netdev dpcls subtable ranking)
+    scan_order: str = "insertion"
 
 
 #: the kernel datapath (what a Kubernetes node uses — Fig. 3's setting):

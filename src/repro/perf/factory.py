@@ -9,16 +9,26 @@ once and become addressable from specs and the CLI.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.flow.fields import OVS_FIELDS, FieldSpace
 from repro.ovs.switch import OvsSwitch
 from repro.perf.costmodel import KERNEL_PROFILE, NETDEV_PROFILE, DatapathProfile
 from repro.util.registry import Registry
 from repro.util.rng import DeterministicRng
 
+#: the netdev datapath with dpcls subtable ranking enabled (real OVS
+#: ranks subtables by hit count in the userspace classifier; the kernel
+#: mask array stays insertion-ordered, hence no kernel-ranked variant)
+NETDEV_RANKED_PROFILE = replace(
+    NETDEV_PROFILE, name="netdev-ranked", scan_order="ranked"
+)
+
 #: the datapath-profile registry (string-keyed, scenario-addressable)
 PROFILES: Registry[DatapathProfile] = Registry("datapath profile")
 PROFILES.register("kernel", KERNEL_PROFILE)
 PROFILES.register("netdev", NETDEV_PROFILE)
+PROFILES.register("netdev-ranked", NETDEV_RANKED_PROFILE)
 
 
 def profile_by_name(name: str) -> DatapathProfile:
@@ -32,12 +42,17 @@ def switch_for_profile(
     name: str | None = None,
     staged_lookup: bool = False,
     seed: int = 0,
+    scan_order: str | None = None,
+    key_mode: str = "packed",
 ) -> OvsSwitch:
     """Instantiate a switch configured per a datapath profile.
 
     Fig. 3's Kubernetes setting is the ``kernel`` profile (small
     per-CPU exact-match cache); ``netdev`` models the userspace/DPDK
-    datapath with its 8192-entry EMC.
+    datapath with its 8192-entry EMC, and ``netdev-ranked`` adds the
+    dpcls subtable ranking.  ``scan_order=None`` takes the profile's
+    default; a string overrides it (a :class:`~repro.scenario.spec.
+    ScenarioSpec`'s ``scan_order`` flows through here).
     """
     if isinstance(profile, str):
         profile = profile_by_name(profile)
@@ -50,5 +65,7 @@ def switch_for_profile(
         emc_ways=profile.emc_ways,
         emc_insertion_prob=profile.emc_insertion_prob,
         staged_lookup=staged_lookup,
+        scan_order=scan_order or profile.scan_order,
+        key_mode=key_mode,
         rng=DeterministicRng(seed),
     )

@@ -139,7 +139,7 @@ class DataplaneSimulator:
         for key in self.victim_keys:
             entry = self._victim_entries.get(key)
             if entry is not None and entry.alive:
-                entry.touch(now)
+                entry.refresh(now)
             else:
                 stale.append(key)
         if stale:
@@ -183,15 +183,29 @@ class DataplaneSimulator:
                 + batch.tuples_scanned * self.cost_model.cycles_tuple_probe
             )
             return due, cycles
+        # under subtable ranking the expected hit scan follows the
+        # measured hit distribution (computed once per tick: the covert
+        # refreshes below keep spreading hits across every subtable,
+        # which is exactly what flattens the ranking's payoff)
+        ranked = getattr(self.switch, "scan_order", "insertion") == "ranked"
+        ranked_hit_cost = (
+            self.cost_model.megaflow_hit_cost(
+                self.switch.expected_scan_depth(), self.switch.staged
+            )
+            if ranked
+            else 0.0
+        )
         cycles = 0.0
         for _ in range(due):
             key = self.covert_keys[self._covert_cursor % n_keys]
             self._covert_cursor += 1
             entry = self._attacker_entries.get(key)
             if entry is not None and entry.alive:
-                entry.touch(t1)
-                cycles += self.cost_model.expected_megaflow_hit_cost(
-                    self.switch.mask_count
+                entry.refresh(t1)
+                cycles += ranked_hit_cost if ranked else (
+                    self.cost_model.expected_megaflow_hit_cost(
+                        self.switch.mask_count
+                    )
                 )
             else:
                 installed = self.switch.handle_miss(key, now=mid)
@@ -217,7 +231,16 @@ class DataplaneSimulator:
         return EMC_MAX_LOCALITY * min(1.0, capacity / active_flows)
 
     def _victim_avg_cost(self, emc_hit_rate: float) -> float:
-        """Expected per-packet cycles for the victim aggregate."""
+        """Expected per-packet cycles for the victim aggregate.
+
+        The megaflow-hit scan uses the unordered-mask-array convention
+        ``(n+1)/2`` (the kernel datapath), except under subtable
+        ranking, where the expected depth follows the *measured* hit
+        distribution — benign traffic concentrated on hot subtables
+        scans few, while covert refresh hits spread uniformly keep the
+        expectation near ``(n+1)/2``.  Ranking never helps the miss
+        term: a miss still visits every subtable.
+        """
         masks = self.switch.mask_count
         if not self.switch.has_flow_cache:
             # cacheless backend: every packet pays the same static scan
@@ -225,10 +248,15 @@ class DataplaneSimulator:
             return self.cost_model.megaflow_hit_cost(masks)
         staged = self.switch.staged
         f_new = self.victim.miss_fraction
+        if getattr(self.switch, "scan_order", "insertion") == "ranked":
+            megaflow_hit = self.cost_model.megaflow_hit_cost(
+                self.switch.expected_scan_depth(), staged
+            )
+        else:
+            megaflow_hit = self.cost_model.expected_megaflow_hit_cost(masks, staged)
         hit_cost = (
             emc_hit_rate * self.cost_model.emc_hit_cost()
-            + (1.0 - emc_hit_rate)
-            * self.cost_model.expected_megaflow_hit_cost(masks, staged)
+            + (1.0 - emc_hit_rate) * megaflow_hit
         )
         miss_cost = self.cost_model.miss_cost(
             masks, rules_examined=max(self.switch.rule_count, 1), staged=staged

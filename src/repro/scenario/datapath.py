@@ -82,6 +82,11 @@ class Datapath(Protocol):
     def staged(self) -> bool: ...
 
     @property
+    def scan_order(self) -> str: ...
+
+    def expected_scan_depth(self) -> float: ...
+
+    @property
     def rule_count(self) -> int: ...
 
     @property
@@ -117,8 +122,8 @@ class CachelessDatapath:
             key_or_packet = flow_key_from_packet(
                 key_or_packet, in_port=in_port, space=self.space
             )
-        if now is not None:
-            self.clock = now
+        if now is not None and now > self.clock:
+            self.clock = now  # monotonic, like OvsSwitch
         outcome = self.inner.process(key_or_packet)
         return PacketResult(
             action=outcome.action,
@@ -130,7 +135,7 @@ class CachelessDatapath:
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
                       now: float | None = None) -> BatchResult:
-        if now is not None:
+        if now is not None and now > self.clock:
             self.clock = now
         batch = BatchResult()
         for key in keys:
@@ -142,7 +147,7 @@ class CachelessDatapath:
         return None
 
     def advance_clock(self, now: float) -> None:
-        self.clock = now
+        self.clock = max(self.clock, now)
 
     # -- slow-path rule management ----------------------------------------
 
@@ -184,6 +189,18 @@ class CachelessDatapath:
     @property
     def staged(self) -> bool:
         return False
+
+    @property
+    def scan_order(self) -> str:
+        # the compiled group order is fixed at compile time; there is no
+        # hit-driven re-ranking to speak of
+        return "static"
+
+    def expected_scan_depth(self) -> float:
+        """Expected groups probed per classification (uniform over the
+        static compiled groups)."""
+        groups = self.inner.group_count
+        return (groups + 1.0) / 2.0 if groups else 0.0
 
     @property
     def rule_count(self) -> int:

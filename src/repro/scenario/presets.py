@@ -89,6 +89,29 @@ SCENARIOS.register(
     ),
 )
 SCENARIOS.register(
+    "calico-ranked",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-ranked",
+        scan_order="ranked",
+        duration=120.0,
+        attack_start=30.0,
+        description="subtable ranking vs the attack: uniform covert hits"
+        " keep the expected scan near n/2",
+    ),
+)
+SCENARIOS.register(
+    "calico-netdev-ranked",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-netdev-ranked",
+        profile="netdev-ranked",
+        duration=120.0,
+        attack_start=30.0,
+        description="the 8192-mask attack vs the ranked userspace dpcls",
+    ),
+)
+SCENARIOS.register(
     "calico-cacheless",
     ScenarioSpec(
         surface="calico",

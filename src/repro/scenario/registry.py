@@ -338,7 +338,8 @@ def _detector(threshold: int = 64, respond_delay: float = 20.0) -> DefenseAgent:
 # classifier backends
 # ---------------------------------------------------------------------------
 
-#: a backend builder: (profile, space, name, seed, staged) -> Datapath
+#: a backend builder:
+#: (profile, space, name, seed, staged, scan_order, key_mode) -> Datapath
 BackendBuilder = Callable[..., Datapath]
 
 BACKENDS: Registry[BackendBuilder] = Registry("datapath backend")
@@ -346,13 +347,30 @@ BACKENDS: Registry[BackendBuilder] = Registry("datapath backend")
 
 @BACKENDS.register("ovs")
 def _ovs_backend(profile: DatapathProfile, space: FieldSpace, name: str,
-                 seed: int = 0, staged: bool = False) -> Datapath:
+                 seed: int = 0, staged: bool = False, scan_order: str = "",
+                 key_mode: str = "packed") -> Datapath:
     return switch_for_profile(
-        profile, space=space, name=name, staged_lookup=staged, seed=seed
+        profile, space=space, name=name, staged_lookup=staged, seed=seed,
+        scan_order=scan_order or None, key_mode=key_mode,
+    )
+
+
+@BACKENDS.register("ovs-tuple")
+def _ovs_tuple_backend(profile: DatapathProfile, space: FieldSpace, name: str,
+                       seed: int = 0, staged: bool = False, scan_order: str = "",
+                       **_ignored) -> Datapath:
+    """The tuple-keyed reference TSS (the packed fast path's checked
+    baseline) — run any scenario through it to cross-validate results.
+    Pins ``key_mode="tuple"``; a spec's ``key_mode`` is ignored here
+    (that is this backend's entire point)."""
+    return switch_for_profile(
+        profile, space=space, name=name, staged_lookup=staged, seed=seed,
+        scan_order=scan_order or None, key_mode="tuple",
     )
 
 
 @BACKENDS.register("cacheless")
 def _cacheless_backend(profile: DatapathProfile, space: FieldSpace, name: str,
-                       seed: int = 0, staged: bool = False) -> Datapath:
+                       seed: int = 0, staged: bool = False, scan_order: str = "",
+                       key_mode: str = "packed") -> Datapath:
     return CachelessDatapath(space, name=name)

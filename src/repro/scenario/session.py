@@ -112,15 +112,20 @@ class ScenarioResult:
         return self.post_attack_mean_bps(settle) / self.pre_attack_mean_bps()
 
     def scan_stats(self) -> dict[str, float]:
-        """Datapath-level scan accounting, where the backend exposes it."""
+        """Datapath-level scan accounting, where the backend exposes it
+        (a subset of :meth:`~repro.ovs.stats.SwitchStats.snapshot`)."""
         stats = getattr(self.datapath, "stats", None)
         if stats is None:
             return {}
+        snapshot = stats.snapshot()
         return {
-            "packets": stats.packets,
-            "tuples_scanned": stats.tuples_scanned,
-            "hash_probes": stats.hash_probes,
-            "avg_tuples_per_megaflow_lookup": stats.avg_tuples_per_megaflow_lookup,
+            name: snapshot[name]
+            for name in (
+                "packets",
+                "tuples_scanned",
+                "hash_probes",
+                "avg_tuples_per_megaflow_lookup",
+            )
         }
 
     # -- hooks ---------------------------------------------------------------
@@ -238,6 +243,8 @@ class Session:
             name=name or f"{self.spec.name}-node",
             seed=self.spec.seed,
             staged=self.spec.staged_lookup,
+            scan_order=self.spec.scan_order,
+            key_mode=self.spec.key_mode,
         )
         for defense in self.defenses:
             defense.attach(datapath)

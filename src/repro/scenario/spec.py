@@ -76,6 +76,12 @@ class ScenarioSpec:
     attacker_pod_ip: str = "10.0.9.10"
     #: enable the TSS staged-lookup optimisation
     staged_lookup: bool = False
+    #: TSS subtable visit order ("insertion" | "hits" | "ranked");
+    #: empty string defers to the datapath profile's default
+    scan_order: str = ""
+    #: TSS hash-key representation ("packed" fast path | "tuple"
+    #: reference); both yield identical results and scan accounting
+    key_mode: str = "packed"
     #: multiplicative throughput noise (0 = deterministic)
     noise: float = 0.0
     seed: int = 7

@@ -9,8 +9,11 @@ from repro.experiments.runner import main as runner_main
 
 class TestRunner:
     def test_experiment_registry_covers_design_index(self):
-        # every experiment id from DESIGN.md §4 that has a runner entry
-        assert set(EXPERIMENTS) == {"fig2", "masks", "fig3", "degradation", "defenses"}
+        # every experiment id from DESIGN.md §4 that has a runner entry,
+        # plus the PR-2 subtable-ranking ablation
+        assert set(EXPERIMENTS) == {
+            "fig2", "masks", "fig3", "degradation", "defenses", "ranking"
+        }
 
     def test_run_single_experiment(self, capsys):
         assert runner_main(["fig2"]) == 0

@@ -1,0 +1,107 @@
+"""Tests for the monotonic-clock contract and the stats snapshot.
+
+Regressions fixed in PR 2: ``process(..., now=...)`` / ``process_batch``
+silently moved the switch clock *backwards* on a stale ``now`` — which
+un-expired idle accounting and skewed the revalidator — and
+``SwitchStats.snapshot()`` omitted ``avg_tuples_per_megaflow_lookup``,
+forcing CSV consumers to re-derive it inconsistently."""
+
+import pytest
+
+from repro.flow.actions import Allow, Drop
+from repro.flow.fields import toy_single_field_space
+from repro.flow.key import FlowKey
+from repro.flow.match import FlowMatch
+from repro.flow.rule import FlowRule
+from repro.ovs.switch import OvsSwitch
+from repro.scenario.datapath import CachelessDatapath
+
+
+def _toy_switch(**kwargs):
+    space = toy_single_field_space()
+    switch = OvsSwitch(space=space, **kwargs)
+    switch.add_rules(
+        [
+            FlowRule(FlowMatch(space, {"ip_src": (0b00001010, 0xFF)}),
+                     Allow(), priority=10),
+            FlowRule(FlowMatch.wildcard(space), Drop(), priority=0),
+        ]
+    )
+    return space, switch
+
+
+class TestMonotonicClock:
+    def test_process_clamps_stale_now(self):
+        space, switch = _toy_switch()
+        switch.process(FlowKey(space, {"ip_src": 1}), now=10.0)
+        switch.process(FlowKey(space, {"ip_src": 2}), now=5.0)
+        assert switch.clock == 10.0
+
+    def test_process_batch_clamps_stale_now(self):
+        space, switch = _toy_switch()
+        switch.process_batch([FlowKey(space, {"ip_src": 1})], now=20.0)
+        switch.process_batch([FlowKey(space, {"ip_src": 2})], now=3.0)
+        assert switch.clock == 20.0
+
+    def test_advance_clock_clamps(self):
+        space, switch = _toy_switch()
+        switch.advance_clock(30.0)
+        switch.advance_clock(1.0)
+        assert switch.clock == 30.0
+
+    def test_stale_now_does_not_unexpire_idle_accounting(self):
+        """The original bug: a stale `now` rewound the clock, making
+        idle entries look fresh to the next revalidator sweep."""
+        space, switch = _toy_switch()
+        result = switch.process(FlowKey(space, {"ip_src": 1}), now=0.0)
+        entry = result.entry
+        assert entry is not None
+        # a stale timestamp must not rewind the entry's idle window
+        switch.process(FlowKey(space, {"ip_src": 1}), now=9.0)
+        switch.process(FlowKey(space, {"ip_src": 1}), now=2.0)
+        assert entry.last_used == 9.0
+        assert entry.idle_for(switch.clock) == 0.0
+
+    def test_revalidator_sweep_time_never_rewinds(self):
+        space, switch = _toy_switch()
+        switch.advance_clock(5.0)
+        sweep_at = switch.revalidator.last_sweep
+        switch.process(FlowKey(space, {"ip_src": 3}), now=0.5)
+        assert switch.revalidator.last_sweep >= sweep_at
+
+    def test_cacheless_datapath_clock_is_monotonic(self):
+        space = toy_single_field_space()
+        datapath = CachelessDatapath(space)
+        datapath.add_rules(
+            [FlowRule(FlowMatch.wildcard(space), Drop(), priority=0)]
+        )
+        datapath.process(FlowKey(space, {"ip_src": 1}), now=7.0)
+        datapath.process(FlowKey(space, {"ip_src": 1}), now=2.0)
+        assert datapath.clock == 7.0
+        datapath.advance_clock(1.0)
+        assert datapath.clock == 7.0
+
+
+class TestStatsSnapshot:
+    def test_snapshot_exports_avg_tuples_per_megaflow_lookup(self):
+        space, switch = _toy_switch()
+        key = FlowKey(space, {"ip_src": 7})
+        switch.process(key)  # upcall: scans, installs
+        switch.microflow.flush()
+        switch.process(key)  # megaflow hit: scans again
+        snap = switch.stats.snapshot()
+        assert "avg_tuples_per_megaflow_lookup" in snap
+        assert snap["avg_tuples_per_megaflow_lookup"] == pytest.approx(
+            switch.stats.avg_tuples_per_megaflow_lookup
+        )
+        assert snap["avg_tuples_per_megaflow_lookup"] > 0
+
+    def test_snapshot_consistent_with_raw_counters(self):
+        space, switch = _toy_switch()
+        for value in range(16):
+            switch.process(FlowKey(space, {"ip_src": value}))
+        snap = switch.stats.snapshot()
+        lookups = snap["megaflow_hits"] + snap["upcalls"]
+        assert snap["avg_tuples_per_megaflow_lookup"] == pytest.approx(
+            snap["tuples_scanned"] / lookups
+        )

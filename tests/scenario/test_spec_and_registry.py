@@ -64,8 +64,8 @@ class TestBuiltinRegistries:
         assert not SURFACES.get("fig2").is_campaign
 
     def test_profiles_and_backends(self):
-        assert PROFILES.names() == ["kernel", "netdev"]
-        assert {"ovs", "cacheless"} <= set(BACKENDS.names())
+        assert PROFILES.names() == ["kernel", "netdev", "netdev-ranked"]
+        assert {"ovs", "ovs-tuple", "cacheless"} <= set(BACKENDS.names())
 
     def test_defenses(self):
         assert {"none", "mask-limit", "rate-limit", "prefix-rounding", "detector"} <= set(
