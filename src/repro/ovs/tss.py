@@ -15,12 +15,34 @@ a real linear search over real hash tables the wall-clock benchmarks in
 ``benchmarks/bench_tss_linear_scan.py`` reproduce the linear blow-up
 directly.
 
+Two orthogonal hot-path optimisations model what real OVS does:
+
+* **Packed keys** (``key_mode="packed"``, the default): the field space
+  fixes a bit offset per field, every :class:`~repro.flow.key.FlowKey`
+  caches one packed integer, and each subtable precomputes one packed
+  mask integer — masking a key down to a subtable becomes a single
+  ``packed & mask`` and the per-tuple hash tables key on ints.  The
+  tuple-keyed dicts are still maintained as the checked reference
+  (``key_mode="tuple"`` scans them instead; equivalence tests assert
+  both paths agree probe for probe).
+
+* **Subtable ranking** (``scan_order="ranked"``): subtables live in a
+  pvector-style list that is periodically re-sorted by recent hit count
+  (OVS's dpcls subtable ranking), either explicitly via :meth:`resort`
+  — the revalidator sweep calls it — or automatically every
+  ``resort_interval`` lookups.  Ranking makes *benign* heavy-tailed
+  traffic cheap (hot subtables move to the front) but does **not** blunt
+  the attack: the covert stream spreads hits uniformly across every
+  subtable, so no ordering beats any other — the expected scan stays
+  ``(n+1)/2`` (the ``experiments/ranking.py`` ablation measures both).
+
 The optional *staged lookup* models the OVS optimisation of the same
 name: each subtable's mask is split into stages (metadata / L2 / L3 /
 L4) and a per-stage index lets the scan abandon a subtable early.  It
 reduces hash-probe work per subtable but does **not** reduce the number
 of subtables visited — which is why it does not stop the attack (an
-ablation benchmark shows this).
+ablation benchmark shows this).  Staged lookups use the tuple path (the
+stage indexes key on partial tuples).
 """
 
 from __future__ import annotations
@@ -39,6 +61,12 @@ DEFAULT_STAGES: tuple[tuple[str, ...], ...] = (
     ("ip_src", "ip_dst", "ip_proto", "ip_tos"),
     ("tp_src", "tp_dst"),
 )
+
+#: valid ``TupleSpaceSearch.scan_order`` values
+SCAN_ORDERS = ("insertion", "hits", "ranked")
+
+#: valid ``TupleSpaceSearch.key_mode`` values
+KEY_MODES = ("packed", "tuple")
 
 
 @dataclass
@@ -62,7 +90,8 @@ class Subtable:
 
     __slots__ = (
         "masks", "entries", "hits", "created_seq",
-        "_stage_index", "_stage_plan", "_stage_dirty",
+        "packed_mask", "entries_packed", "rank_hits", "dead",
+        "_space", "_stage_index", "_stage_plan", "_stage_dirty",
     )
 
     def __init__(
@@ -70,11 +99,21 @@ class Subtable:
         masks: tuple[int, ...],
         created_seq: int,
         stage_plan: tuple[tuple[int, ...], ...] | None = None,
+        space: FieldSpace | None = None,
     ) -> None:
         self.masks = masks
         self.entries: dict[tuple[int, ...], object] = {}
         self.hits = 0
+        #: hits since the last ranked re-sort (exponentially decayed)
+        self.rank_hits = 0
         self.created_seq = created_seq
+        #: True once destroyed — lets the ranked scan list compact lazily
+        self.dead = False
+        self._space = space
+        # packed fast path: one precomputed mask int plus an int-keyed
+        # mirror of `entries`, only maintained when a space is given
+        self.packed_mask: int | None = space.pack(masks) if space else None
+        self.entries_packed: dict[int, object] = {}
         self._stage_plan = stage_plan
         # per-stage set of partial masked keys, maintained incrementally
         # on insert and rebuilt lazily after removals; only allocated
@@ -88,9 +127,16 @@ class Subtable:
         """Mask a flow key's values down to this subtable's mask."""
         return tuple(v & m for v, m in zip(key_values, self.masks))
 
+    def credit_hit(self) -> None:
+        """Record one lookup hit (cumulative + ranking counters)."""
+        self.hits += 1
+        self.rank_hits += 1
+
     def insert(self, masked_values: tuple[int, ...], entry: object) -> None:
         """Add or replace the entry stored under ``masked_values``."""
         self.entries[masked_values] = entry
+        if self._space is not None:
+            self.entries_packed[self._space.pack(masked_values)] = entry
         if (
             self._stage_index is not None
             and self._stage_plan is not None
@@ -111,6 +157,8 @@ class Subtable:
         rebuild per entry; the next staged lookup rebuilds once.
         """
         del self.entries[masked_values]
+        if self._space is not None:
+            del self.entries_packed[self._space.pack(masked_values)]
         if self._stage_index is not None:
             self._stage_dirty = True
 
@@ -138,6 +186,18 @@ class Subtable:
                 return None, probes
         return self.entries.get(masked_values), probes
 
+    def check_packed_consistency(self) -> bool:
+        """True when the int-keyed mirror agrees with the tuple dict
+        entry for entry (the packed path's checked-reference invariant)."""
+        if self._space is None:
+            return not self.entries_packed
+        if len(self.entries) != len(self.entries_packed):
+            return False
+        return all(
+            self.entries_packed.get(self._space.pack(masked)) is entry
+            for masked, entry in self.entries.items()
+        )
+
     def __len__(self) -> int:
         return len(self.entries)
 
@@ -146,16 +206,29 @@ class Subtable:
 
 
 class TupleSpaceSearch:
-    """The sequential-scan tuple space: insertion-ordered subtables.
+    """The sequential-scan tuple space.
 
     ``scan_order`` controls how subtables are visited:
 
     * ``"insertion"`` (default) — the order masks were first created,
       matching the kernel datapath's mask array;
-    * ``"hits"`` — most-hit subtables first, modelling the netdev
-      datapath's periodic subtable re-sorting.  Exposed because it is a
-      natural (insufficient) mitigation candidate: the attacker's covert
-      stream also generates hits, so re-sorting does not save the victim.
+    * ``"hits"`` — most-hit subtables first, re-sorted on *every* scan
+      (a deliberately naive reference ordering kept for comparison);
+    * ``"ranked"`` — OVS's netdev-datapath subtable ranking: a cached
+      pvector-style list re-sorted by recent hit count only when
+      :meth:`resort` runs (the revalidator sweep calls it) or every
+      ``resort_interval`` lookups.  Between re-sorts the scan pays no
+      ordering cost at all.
+
+    ``key_mode`` selects the hash-key representation scanned:
+
+    * ``"packed"`` (default) — one integer per key/mask, masked with a
+      single ``&`` per subtable;
+    * ``"tuple"`` — the per-field tuple reference path.
+
+    Both modes visit the same subtables in the same order and probe one
+    hash table per subtable, so ``tuples_scanned`` / ``hash_probes``
+    accounting is identical; only the constant factor differs.
     """
 
     def __init__(
@@ -163,13 +236,30 @@ class TupleSpaceSearch:
         space: FieldSpace,
         staged: bool = False,
         scan_order: str = "insertion",
+        key_mode: str = "packed",
+        resort_interval: int = 0,
     ) -> None:
-        if scan_order not in ("insertion", "hits"):
-            raise ValueError(f"unknown scan_order {scan_order!r}")
+        if scan_order not in SCAN_ORDERS:
+            raise ValueError(
+                f"unknown scan_order {scan_order!r}; valid: {SCAN_ORDERS}"
+            )
+        if key_mode not in KEY_MODES:
+            raise ValueError(f"unknown key_mode {key_mode!r}; valid: {KEY_MODES}")
+        if resort_interval < 0:
+            raise ValueError("resort_interval must be >= 0")
         self.space = space
         self.staged = staged
         self.scan_order = scan_order
+        self.key_mode = key_mode
+        #: lookups between automatic ranked re-sorts (0 = only explicit
+        #: / revalidator-driven re-sorts)
+        self.resort_interval = resort_interval
         self._subtables: dict[tuple[int, ...], Subtable] = {}
+        # the pvector: ranked scan order, compacted lazily after removals
+        self._scan_list: list[Subtable] = []
+        self._scan_dead = 0
+        self._lookups_since_resort = 0
+        self.resorts = 0
         self._next_seq = 0
         self._stage_plan = self._build_stage_plan() if staged else None
         # lookup statistics (cumulative)
@@ -207,8 +297,17 @@ class TupleSpaceSearch:
         """Total megaflow entries across all subtables."""
         return sum(len(subtable) for subtable in self._subtables.values())
 
+    def _ranked_tables(self) -> list[Subtable]:
+        """The ranked scan list, compacted if subtables died since."""
+        if self._scan_dead:
+            self._scan_list = [s for s in self._scan_list if not s.dead]
+            self._scan_dead = 0
+        return self._scan_list
+
     def subtables(self) -> list[Subtable]:
         """Subtables in the current scan order."""
+        if self.scan_order == "ranked":
+            return list(self._ranked_tables())
         tables = list(self._subtables.values())
         if self.scan_order == "hits":
             tables.sort(key=lambda s: (-s.hits, s.created_seq))
@@ -222,9 +321,20 @@ class TupleSpaceSearch:
         """The subtable for a mask, creating it on first use."""
         subtable = self._subtables.get(masks)
         if subtable is None:
-            subtable = Subtable(masks, self._next_seq, self._stage_plan)
+            # staged lookups never probe the packed mirror, so don't
+            # maintain one (it would double per-entry memory for nothing)
+            packed = self.key_mode == "packed" and not self.staged
+            subtable = Subtable(
+                masks,
+                self._next_seq,
+                self._stage_plan,
+                space=self.space if packed else None,
+            )
             self._next_seq += 1
             self._subtables[masks] = subtable
+            if self.scan_order == "ranked":
+                # new subtables join the back of the pvector (no hits yet)
+                self._scan_list.append(subtable)
         return subtable
 
     def insert(self, masks: tuple[int, ...], masked_values: tuple[int, ...],
@@ -241,10 +351,77 @@ class TupleSpaceSearch:
         subtable.remove(masked_values)
         if not subtable.entries:
             del self._subtables[masks]
+            if self.scan_order == "ranked":
+                # lazy compaction: bulk evictions mark dead subtables and
+                # pay one O(n) filter on the next ranked access, not O(n)
+                # list removal each
+                subtable.dead = True
+                self._scan_dead += 1
 
     def clear(self) -> None:
         """Drop every subtable."""
         self._subtables.clear()
+        self._scan_list.clear()
+        self._scan_dead = 0
+
+    # -- ranking -----------------------------------------------------------
+
+    def resort(self) -> None:
+        """Re-rank the subtable pvector by recent hit count (no-op for
+        other scan orders).
+
+        Mirrors OVS's periodic dpcls subtable re-sort: the list is
+        ordered by ``rank_hits`` (ties broken by age), then the counters
+        are halved so ranking tracks recent hit *rate* rather than
+        all-time totals — a stale once-hot subtable decays to the back.
+        The halving is floating-point on purpose: a subtable refreshed
+        roughly once per window (each of the covert stream's thousands)
+        must keep its steady-state ~1 weight rather than quantise to
+        zero, or the rank distribution would forget exactly the uniform
+        spread the attack relies on.
+        """
+        if self.scan_order != "ranked":
+            return
+        tables = self._ranked_tables()
+        tables.sort(key=lambda s: (-s.rank_hits, s.created_seq))
+        for subtable in tables:
+            subtable.rank_hits /= 2.0
+        self._lookups_since_resort = 0
+        self.resorts += 1
+
+    def expected_scan_depth(self) -> float:
+        """Expected subtables visited per *hit* if hits keep their
+        current distribution, under the current scan order.
+
+        Hit-count weighted mean position: uniform hits over ``n``
+        subtables give ``(n+1)/2`` regardless of order (why ranking does
+        not blunt the attack — the covert stream's hits are uniform by
+        construction), while a heavy-tailed distribution under
+        ``"ranked"`` collapses toward the front of the list.
+
+        Ranked mode weights by the same exponentially-decayed
+        ``rank_hits`` the ordering itself uses, so the estimate tracks
+        the *recent* hit rate — all-time totals would let long-stale
+        history dominate after a traffic shift and report a depth the
+        actual scan no longer pays.
+        """
+        tables = self.subtables()
+        n = len(tables)
+        if n == 0:
+            return 0.0
+        ranked = self.scan_order == "ranked"
+        weights = [
+            subtable.rank_hits if ranked else subtable.hits
+            for subtable in tables
+        ]
+        total = sum(weights)
+        if total == 0:
+            return (n + 1.0) / 2.0
+        return (
+            sum(position * weight
+                for position, weight in enumerate(weights, start=1))
+            / total
+        )
 
     # -- lookup ------------------------------------------------------------
 
@@ -254,22 +431,39 @@ class TupleSpaceSearch:
         OVS guarantees megaflows are non-overlapping, so "first match"
         and "only match" coincide; the scan order merely affects cost.
         """
-        key_values = key.values
+        if self.scan_order == "ranked":
+            tables = self._ranked_tables()
+        elif self.scan_order == "hits":
+            tables = self.subtables()
+        else:
+            tables = self._subtables.values()
         tuples_scanned = 0
         hash_probes = 0
-        for subtable in self.subtables():
-            tuples_scanned += 1
-            masked = subtable.mask_key(key_values)
-            if self.staged:
-                entry, probes = subtable.lookup_staged(masked)
-                hash_probes += probes
-            else:
-                entry = subtable.entries.get(masked)
+        if self.staged or self.key_mode == "tuple":
+            key_values = key.values
+            for subtable in tables:
+                tuples_scanned += 1
+                masked = subtable.mask_key(key_values)
+                if self.staged:
+                    entry, probes = subtable.lookup_staged(masked)
+                    hash_probes += probes
+                else:
+                    entry = subtable.entries.get(masked)
+                    hash_probes += 1
+                if entry is not None:
+                    subtable.credit_hit()
+                    self._account(tuples_scanned, hash_probes)
+                    return TssLookupResult(entry, tuples_scanned, hash_probes)
+        else:
+            packed = key.packed
+            for subtable in tables:
+                tuples_scanned += 1
                 hash_probes += 1
-            if entry is not None:
-                subtable.hits += 1
-                self._account(tuples_scanned, hash_probes)
-                return TssLookupResult(entry, tuples_scanned, hash_probes)
+                entry = subtable.entries_packed.get(packed & subtable.packed_mask)
+                if entry is not None:
+                    subtable.credit_hit()
+                    self._account(tuples_scanned, hash_probes)
+                    return TssLookupResult(entry, tuples_scanned, hash_probes)
         self._account(tuples_scanned, hash_probes)
         return TssLookupResult(None, tuples_scanned, hash_probes)
 
@@ -277,6 +471,10 @@ class TupleSpaceSearch:
         self.total_lookups += 1
         self.total_tuples_scanned += tuples_scanned
         self.total_hash_probes += hash_probes
+        if self.scan_order == "ranked" and self.resort_interval:
+            self._lookups_since_resort += 1
+            if self._lookups_since_resort >= self.resort_interval:
+                self.resort()
 
     def iter_entries(self) -> Iterator[tuple[tuple[int, ...], tuple[int, ...], object]]:
         """Iterate ``(masks, masked_values, entry)`` over the whole space."""
@@ -297,5 +495,6 @@ class TupleSpaceSearch:
     def __repr__(self) -> str:
         return (
             f"TupleSpaceSearch({self.mask_count} masks, {self.entry_count} entries, "
-            f"staged={self.staged})"
+            f"staged={self.staged}, scan_order={self.scan_order!r}, "
+            f"key_mode={self.key_mode!r})"
         )
