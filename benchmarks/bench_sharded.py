@@ -1,0 +1,248 @@
+"""Wall-clock: the sharded multi-PMD datapath under attack, plus the
+batch-first pipeline's amortisation, with a built-in shards=1
+equivalence gate.
+
+Three measurements, emitted as a ``BENCH_sharded.json`` perf record:
+
+1. **Sharding vs the attack** — the k8s-surface attack (512 masks) is
+   installed on 1..N-shard datapaths through the real slow path, by the
+   *naive* attacker (the paper's stream, RSS-scattered) and the
+   *hash-aware* one (one variant per mask and shard,
+   ``CovertStreamGenerator.spread_keys``).  The covert refresh stream is
+   then timed through ``process_batch``: against the naive attacker
+   more shards mean shorter per-shard pvectors and measurably faster
+   lookups; against the spread attacker every shard carries the full
+   cross-product and the speedup evaporates.
+2. **Batch vs single-key processing** — the same stream through
+   per-key ``process()`` calls vs one ``process_batch()`` burst on
+   identical switches: the bucketed TSS chunk walk is the win.
+3. **Equivalence gate** — a one-shard ``ShardedDatapath`` must be
+   observationally identical to a bare ``OvsSwitch`` (same results,
+   stats, masks, megaflows) on a mixed hit/miss/duplicate stream, and
+   ``process_batch`` must match sequential ``process``.  Any mismatch
+   exits non-zero, failing CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py          # full
+    PYTHONPATH=src python benchmarks/bench_sharded.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from itertools import cycle, islice
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.attack.packets import CovertStreamGenerator  # noqa: E402
+from repro.attack.policy import kubernetes_attack_policy  # noqa: E402
+from repro.cms.base import PolicyTarget  # noqa: E402
+from repro.cms.kubernetes import KubernetesCms  # noqa: E402
+from repro.experiments.sharding import build_attacked_shards  # noqa: E402
+from repro.flow.fields import OVS_FIELDS  # noqa: E402
+from repro.net.addresses import ip_to_int  # noqa: E402
+from repro.ovs.stats import SwitchStats  # noqa: E402
+from repro.perf.factory import (  # noqa: E402
+    sharded_switch_for_profile,
+    switch_for_profile,
+)
+
+
+def _covert_refresh_stream(count: int) -> list:
+    """The sustained covert refresh pattern: round-robin over the naive
+    (one-per-mask) key set — the measurement stream for every state."""
+    _policy, dimensions = kubernetes_attack_policy()
+    keys = CovertStreamGenerator(
+        dimensions, dst_ip=ip_to_int("10.0.9.10")
+    ).keys()
+    return list(islice(cycle(keys), count))
+
+
+def _timed_batch(datapath, stream, warmup: int) -> float:
+    """Keys/second through ``process_batch`` after a warmup burst."""
+    datapath.process_batch(stream[:warmup], now=0.0)
+    measured = stream[warmup:]
+    start = time.perf_counter()
+    datapath.process_batch(measured, now=0.0)
+    return len(measured) / (time.perf_counter() - start)
+
+
+def measure_sharding(shard_counts, lookups: int, warmup: int,
+                     seed: int) -> list[dict]:
+    results = []
+    stream = _covert_refresh_stream(warmup + lookups)
+    for attacker in ("naive", "spread"):
+        for shards in shard_counts:
+            datapath, covert_packets = build_attacked_shards(
+                shards, attacker=attacker, seed=seed
+            )
+            rate = _timed_batch(datapath, stream, warmup)
+            merged = datapath.stats  # SwitchStats.merge over the shards
+            results.append(
+                {
+                    "attacker": attacker,
+                    "shards": shards,
+                    "covert_packets": covert_packets,
+                    "max_shard_masks": max(datapath.shard_mask_counts),
+                    "total_masks": datapath.total_mask_count,
+                    "keys_per_sec": rate,
+                    "avg_tuples_per_lookup": merged.avg_tuples_per_megaflow_lookup,
+                }
+            )
+            print(
+                f"{attacker:7s} shards={shards:<2d} "
+                f"{rate:>10.0f} keys/s  "
+                f"masks/shard max {results[-1]['max_shard_masks']}"
+            )
+    return results
+
+
+def measure_batch_vs_single(lookups: int, warmup: int, seed: int) -> dict:
+    """Per-key ``process()`` vs one ``process_batch()`` on the same
+    attacked single switch state."""
+    stream = _covert_refresh_stream(warmup + lookups)
+    rates = {}
+    for mode in ("single", "batch"):
+        datapath, _ = build_attacked_shards(1, attacker="naive", seed=seed)
+        if mode == "batch":
+            rates[mode] = _timed_batch(datapath, stream, warmup)
+        else:
+            for key in stream[:warmup]:
+                datapath.process(key, now=0.0)
+            measured = stream[warmup:]
+            start = time.perf_counter()
+            for key in measured:
+                datapath.process(key, now=0.0)
+            rates[mode] = len(measured) / (time.perf_counter() - start)
+        print(f"{mode:7s} shards=1  {rates[mode]:>10.0f} keys/s")
+    return {
+        "single_keys_per_sec": rates["single"],
+        "batch_keys_per_sec": rates["batch"],
+        "batch_vs_single": rates["batch"] / rates["single"],
+    }
+
+
+def check_equivalence(seed: int = 3) -> list[str]:
+    """shards=1 must match a bare OvsSwitch, and batch must match
+    sequential processing; returns a list of mismatch descriptions."""
+    policy, dimensions = kubernetes_attack_policy()
+    target = PolicyTarget(
+        pod_ip=ip_to_int("10.0.9.10"), output_port=42, tenant="mallory"
+    )
+    rules = KubernetesCms().compile(policy, target, OVS_FIELDS)
+    covert = CovertStreamGenerator(dimensions, dst_ip=target.pod_ip).keys()[:96]
+    # misses, repeats (EMC + megaflow hits) and duplicates interleaved
+    stream = []
+    for i, key in enumerate(covert):
+        stream.append(key)
+        if i % 5 == 0:
+            stream.append(covert[i // 2])
+
+    plain = switch_for_profile("kernel", seed=seed)
+    sharded = sharded_switch_for_profile("kernel", shards=1, seed=seed)
+    plain.add_rules(rules)
+    sharded.add_rules(rules)
+    plain_results = [plain.process(key, now=1.0) for key in stream]
+    sharded_batch = sharded.process_batch(stream, now=1.0)
+
+    problems = []
+    fields = ("action", "path", "tuples_scanned", "hash_probes", "install_skipped")
+    for i, (a, b) in enumerate(zip(plain_results, sharded_batch.results)):
+        mism = [f for f in fields if getattr(a, f) != getattr(b, f)]
+        if mism:
+            problems.append(f"result {i} differs in {mism}")
+            break
+    if dataclasses.asdict(plain.stats) != dataclasses.asdict(sharded.stats):
+        problems.append("stats snapshots differ")
+    if plain.mask_count != sharded.mask_count:
+        problems.append("mask counts differ")
+    if plain.megaflow_count != sharded.megaflow_count:
+        problems.append("megaflow counts differ")
+    # cross-check merge() against independently hand-summed counters
+    merged = SwitchStats.merge(*(s.stats for s in sharded.shards))
+    for counter in ("packets", "emc_hits", "megaflow_hits", "upcalls",
+                    "tuples_scanned", "hash_probes"):
+        by_hand = sum(getattr(s.stats, counter) for s in sharded.shards)
+        if getattr(merged, counter) != by_hand:
+            problems.append(
+                f"SwitchStats.merge mis-sums {counter}: "
+                f"{getattr(merged, counter)} != {by_hand}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--lookups", type=int, default=None,
+                        help="measured lookups (default 4096, quick 1024)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup lookups (default 1024, quick 512)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_sharded.json"))
+    args = parser.parse_args(argv)
+
+    shard_counts = (1, 2, 4) if args.quick else (1, 2, 4, 8)
+    lookups = args.lookups or (1024 if args.quick else 4096)
+    warmup = args.warmup or (512 if args.quick else 1024)
+
+    problems = check_equivalence()
+    if problems:
+        print("shards=1 equivalence FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+    else:
+        print("shards=1 equivalence: ok")
+
+    results = measure_sharding(shard_counts, lookups, warmup, args.seed)
+    batch = measure_batch_vs_single(lookups, warmup, args.seed)
+
+    def rate(attacker: str, shards: int) -> float:
+        for row in results:
+            if (row["attacker"], row["shards"]) == (attacker, shards):
+                return row["keys_per_sec"]
+        raise KeyError((attacker, shards))
+
+    most = max(shard_counts)
+    ratios = {
+        # confinement: against the naive attacker, more shards = shorter
+        # per-shard scans = faster lookups
+        f"naive_shard{most}_vs_shard1": rate("naive", most) / rate("naive", 1),
+        # the spread attacker restores the full scan on every shard
+        f"spread_shard{most}_vs_shard1": rate("spread", most) / rate("spread", 1),
+        # the batch-first protocol's amortisation on a single switch
+        "batch_vs_single_process": batch["batch_vs_single"],
+    }
+
+    record = {
+        "benchmark": "sharded_datapath",
+        "quick": args.quick,
+        "params": {
+            "shard_counts": list(shard_counts),
+            "lookups": lookups,
+            "warmup": warmup,
+            "seed": args.seed,
+        },
+        "equivalence_ok": not problems,
+        "equivalence_problems": problems,
+        "results": results,
+        "batch_vs_single": batch,
+        "ratios": ratios,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\nwrote {args.output}")
+    for name, value in ratios.items():
+        print(f"  {name}: {value:.2f}x")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,8 +24,9 @@ def _attacked_switch():
     target = PolicyTarget(pod_ip=ip_to_int("10.0.9.10"), output_port=3, tenant="mallory")
     switch.add_rules(KubernetesCms().compile(policy, target))
     generator = CovertStreamGenerator(dims, dst_ip=target.pod_ip)
-    for key in generator.keys():
-        switch.process(key)
+    # batch-first protocol: one burst through the full pipeline instead
+    # of a per-packet process() loop
+    switch.process_batch(generator.keys())
     return switch
 
 

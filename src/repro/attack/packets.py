@@ -24,7 +24,7 @@ drops on arrival.
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.attack.analysis import AttackDimension
 from repro.flow.fields import FieldSpace, OVS_FIELDS
@@ -116,6 +116,78 @@ class CovertStreamGenerator:
     def keys(self) -> list[FlowKey]:
         """The full adversarial key sequence (one per target mask)."""
         return covert_keys_for_dimensions(self.dimensions, self.pinned_fields(), self.space)
+
+    def spread_keys(
+        self,
+        shards: int,
+        shard_of: Callable[[FlowKey], int],
+        max_tries_per_shard: int = 32,
+    ) -> list[FlowKey]:
+        """The hash-aware covert stream against a sharded datapath: per
+        reachable mask combination, one key variant per PMD shard.
+
+        A multi-PMD datapath RSS-dispatches packets by their headers, so
+        the plain :meth:`keys` stream scatters — each mask lands only on
+        the one shard its key hashes to, and the damage is *diluted* by
+        the shard count.  The hash-aware attacker defeats that: for a
+        combination whose witness sits at prefix length ``l_i``, the
+        resulting megaflow wildcards every bit of field ``f_i`` below
+        bit ``l_i - 1`` — so those bits are free entropy.  Varying them
+        changes the RSS hash without changing the mask *or* the masked
+        key the megaflow stores, and a brute-force search over the free
+        bits (``shard_of`` is the attacker's model of the dispatcher)
+        finds one variant per shard.  Every shard then receives the full
+        mask cross-product, at ``shards``× the (still tiny) covert
+        bandwidth.
+
+        Combinations without enough free entropy (witnesses at full
+        depth) stay confined to wherever their single key hashes —
+        unreachable shards are simply skipped.  Deterministic given the
+        dispatcher: no randomness involved.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        base = dict(self.pinned_fields())
+        for dim in self.dimensions:
+            base.setdefault(dim.field, dim.allow_value)
+        keys: list[FlowKey] = []
+        ranges = [range(1, dim.prefix_len + 1) for dim in self.dimensions]
+        for combo in product(*ranges):
+            values = dict(base)
+            free: list[tuple[str, int]] = []
+            for dim, prefix_len in zip(self.dimensions, combo):
+                values[dim.field] = bit_flip(
+                    dim.allow_value, prefix_len - 1, dim.width
+                )
+                # bits strictly below the witness are wildcarded by the
+                # resulting megaflow: free entropy for RSS steering
+                free.append((dim.field, dim.width - prefix_len))
+            total_free = sum(bits for _field, bits in free)
+            if shards == 1 or total_free == 0:
+                keys.append(FlowKey(self.space, values))
+                continue
+            wanted = set(range(shards))
+            found: dict[int, FlowKey] = {}
+            limit = min(1 << min(total_free, 62), max_tries_per_shard * shards)
+            for counter in range(limit):
+                variant = dict(values)
+                cursor = counter
+                for field_name, bits in free:
+                    if not bits:
+                        continue
+                    chunk = cursor & ((1 << bits) - 1)
+                    cursor >>= bits
+                    if chunk:
+                        variant[field_name] ^= chunk
+                key = FlowKey(self.space, variant)
+                shard = shard_of(key)
+                if shard in wanted:
+                    wanted.discard(shard)
+                    found[shard] = key
+                    if not wanted:
+                        break
+            keys.extend(found[shard] for shard in sorted(found))
+        return keys
 
     def packet_for_key(self, key: FlowKey) -> Layer:
         """Craft the real on-the-wire packet realising one flow key."""

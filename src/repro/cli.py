@@ -99,6 +99,7 @@ def _print_scenario_list() -> None:
     print("defenses:    " + ", ".join(DEFENSES.names()))
     print("scan orders: " + ", ".join(SCAN_ORDERS) + " (--scan-order)")
     print("key modes:   " + ", ".join(KEY_MODES) + " (--key-mode)")
+    print("shards:      any N >= 1 (--shards; RSS-dispatched PMD shards)")
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
@@ -114,7 +115,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc))
     overrides = {}
     for field_name in ("duration", "attack_start", "seed", "profile", "backend",
-                       "scan_order", "key_mode"):
+                       "scan_order", "key_mode", "shards"):
         value = getattr(args, field_name)
         if value is not None:
             overrides[field_name] = value
@@ -188,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--key-mode", choices=list(KEY_MODES),
                           default=None, dest="key_mode",
                           help="TSS hash-key representation (default: packed)")
+    scenario.add_argument("--shards", type=int, default=None,
+                          help="PMD shard count (RSS-dispatched classifier "
+                          "instances; default: the profile's)")
     scenario.add_argument("--defense", action="append", default=None,
                           metavar="NAME", help="activate a defense (repeatable)")
     scenario.add_argument("--csv", type=Path, default=None, metavar="DIR",

@@ -18,7 +18,15 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.experiments import degradation, defenses, fig2, fig3, masks, ranking
+from repro.experiments import (
+    degradation,
+    defenses,
+    fig2,
+    fig3,
+    masks,
+    ranking,
+    sharding,
+)
 
 
 def run_fig2_experiment(csv_dir: Path | None) -> str:
@@ -71,6 +79,15 @@ def run_ranking_experiment(csv_dir: Path | None) -> str:
     return ranking.render(rows)
 
 
+def run_sharding_experiment(csv_dir: Path | None) -> str:
+    rows = sharding.run_sharding_ablation()
+    if csv_dir is not None:
+        (csv_dir / "sharding.csv").write_text(
+            "\n".join(sharding.to_csv_rows(rows)) + "\n"
+        )
+    return sharding.render(rows)
+
+
 EXPERIMENTS = {
     "fig2": ("E1: Fig. 2b megaflow table", run_fig2_experiment),
     "masks": ("E2/E3: in-text mask counts", run_masks_experiment),
@@ -78,6 +95,7 @@ EXPERIMENTS = {
     "degradation": ("E5: headline degradation sweep", run_degradation_experiment),
     "defenses": ("E7: mitigation ablation", run_defenses_experiment),
     "ranking": ("E8: subtable-ranking ablation", run_ranking_experiment),
+    "sharding": ("E9: multi-PMD sharding ablation", run_sharding_experiment),
 }
 
 

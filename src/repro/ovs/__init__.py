@@ -23,6 +23,7 @@ from repro.ovs.wildcarding import (
 from repro.ovs.megaflow import MegaflowCache, MegaflowEntry
 from repro.ovs.tss import Subtable, TssLookupResult, TupleSpaceSearch
 from repro.ovs.microflow import MicroflowCache
+from repro.ovs.pmd import ShardedDatapath, rss_hash, shard_seed, shard_views
 from repro.ovs.upcall import InstallContext, InstallRejected, SlowPath, UpcallResult
 from repro.ovs.revalidator import Revalidator
 from repro.ovs.switch import BatchResult, LookupPath, OvsSwitch, PacketResult
@@ -39,6 +40,7 @@ __all__ = [
     "OvsSwitch",
     "PacketResult",
     "Revalidator",
+    "ShardedDatapath",
     "SlowPath",
     "Subtable",
     "SwitchStats",
@@ -48,4 +50,7 @@ __all__ = [
     "WildcardingResult",
     "classify_with_wildcards",
     "prefix_cover_len",
+    "rss_hash",
+    "shard_seed",
+    "shard_views",
 ]

@@ -9,7 +9,7 @@ module can attribute mask pressure to a tenant.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.flow.actions import Action
 from repro.flow.fields import FieldSpace
@@ -116,6 +116,20 @@ class MegaflowCache:
             entry: MegaflowEntry = result.entry  # type: ignore[assignment]
             entry.touch(now)
         return result
+
+    def lookup_batch(self, keys: "Sequence[FlowKey]",
+                     now: float = 0.0) -> list[TssLookupResult]:
+        """Batched TSS lookup over a burst of keys (see
+        :meth:`~repro.ovs.tss.TupleSpaceSearch.lookup_batch`): returns
+        results for a prefix of ``keys`` — the leading hits plus the
+        first miss — with every hit entry touched in key order, exactly
+        as per-key :meth:`lookup` calls would."""
+        results = self.tss.lookup_batch(keys)
+        for result in results:
+            if result.entry is not None:
+                entry: MegaflowEntry = result.entry  # type: ignore[assignment]
+                entry.touch(now)
+        return results
 
     def insert(
         self,

@@ -67,6 +67,20 @@ class MicroflowCache:
     def _set_index(self, key: FlowKey) -> int:
         return hash(key) % self.n_sets
 
+    def contains(self, key: FlowKey) -> bool:
+        """Whether *any* slot (live or stale) currently stores ``key``.
+
+        Unlike :meth:`lookup` this never mutates — no counters, no LRU
+        touch, no stale purge.  The batch pipeline uses it to decide
+        whether a key's EMC outcome could depend on inserts still
+        pending for earlier packets of the same burst: when no slot
+        matches at all, later inserts (for *other* keys) cannot turn
+        this key's miss into a hit, so its lookup commutes with them.
+        """
+        return any(
+            slot.key == key for slot in self._sets[self._set_index(key)]
+        )
+
     def lookup(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
         """Exact-match probe; stale entries (dead megaflows) are purged
         on contact and reported as misses."""

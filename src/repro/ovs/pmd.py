@@ -1,0 +1,289 @@
+"""The sharded multi-PMD datapath: one classifier shard per core.
+
+Real OVS deployments run one PMD (poll-mode-driver) thread per
+forwarding core; each PMD owns its *own* dpcls — its own subtable
+pvector, megaflow cache, EMC and ranking state — and packets are
+distributed across PMDs by the NIC's RSS hash over the 5-tuple.  The
+paper's measurements degrade a single datapath thread; whether the
+tuple-space explosion stays confined to the cores the covert flows
+hash to, or poisons every shard, is a question about *this* structure.
+
+:class:`ShardedDatapath` models it: N independent
+:class:`~repro.ovs.switch.OvsSwitch` shards behind an RSS-style
+dispatcher.  Packets are dispatched by a deterministic hash of the
+packed 5-tuple, slow-path rule management is broadcast to every shard
+(every PMD consults the same OpenFlow tables), and the observables are
+aggregated — ``mask_count`` reports the *max per shard* (the scan
+bound a packet actually meets), ``total_mask_count`` the sum, and
+``stats`` a :meth:`~repro.ovs.stats.SwitchStats.merge` of the shards.
+
+Attack-relevant consequence: a covert flow only pollutes the shard it
+hashes to.  A naive attacker's masks land wherever RSS scatters them
+(≈ total/N per shard — the damage is *diluted* by sharding), while a
+hash-aware attacker crafts, per mask, one packet variant per shard by
+varying the bits the megaflow wildcards anyway
+(:meth:`~repro.attack.packets.CovertStreamGenerator.spread_keys`) and
+poisons every PMD to the full mask count — at N× the (still tiny)
+covert bandwidth.  Experiment E9 and ``benchmarks/bench_sharded.py``
+measure both.
+
+A one-shard datapath is **observationally identical** to a bare
+:class:`OvsSwitch` (same seeds, same clocks, same stats — equivalence
+is tested), so ``shards`` is a pure scale axis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.flow.fields import FieldSpace
+from repro.flow.key import FlowKey
+from repro.flow.rule import FlowRule
+from repro.ovs.megaflow import MegaflowEntry
+from repro.ovs.stats import SwitchStats
+from repro.ovs.switch import BatchResult, OvsSwitch, PacketResult
+from repro.ovs.upcall import InstallGuard
+
+_MASK64 = (1 << 64) - 1
+
+#: the fields RSS hashes, when present in the space (the classic NIC
+#: 5-tuple; fields outside it — MACs, ports-of-entry — don't steer)
+RSS_FIELDS = ("ip_src", "ip_dst", "ip_proto", "tp_src", "tp_dst")
+
+
+def rss_hash(value: int) -> int:
+    """A deterministic 64-bit mix of an arbitrary-width packed value.
+
+    Stands in for the NIC's Toeplitz hash: stable across processes (no
+    salted ``hash()``), sensitive to every input bit, cheap.  Wide
+    packed values are folded 64 bits at a time through a splitmix-style
+    round.
+    """
+    mixed = 0x9E3779B97F4A7C15
+    while True:
+        mixed = ((mixed ^ (value & _MASK64)) * 0xBF58476D1CE4E5B9) & _MASK64
+        mixed ^= mixed >> 31
+        value >>= 64
+        if not value:
+            return mixed
+
+
+def shard_views(datapath) -> list:
+    """A datapath's per-PMD shard views: its ``shards`` list when
+    sharded, else the datapath itself as its own single shard.
+
+    The one place the "iterate shards, or treat the whole datapath as
+    one" idiom lives — the simulator, defenses and report helpers all
+    route through it.
+    """
+    shards = getattr(datapath, "shards", None)
+    return list(shards) if shards else [datapath]
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """Derive shard ``shard``'s RNG seed from the base (spec) seed.
+
+    Deterministic arithmetic — never ``hash()`` — so scenario runs
+    reproduce bit-for-bit across processes regardless of shard count,
+    and every shard gets an independent stream.  Shard 0 keeps the base
+    seed unchanged, which is what makes a one-shard datapath's RNG
+    (hence EMC behaviour) identical to an unsharded switch built with
+    the same seed.
+    """
+    return (seed + shard * 0x9E3779B97F4A7C15) & 0x7FFF_FFFF_FFFF_FFFF
+
+
+class ShardedDatapath:
+    """N per-PMD :class:`OvsSwitch` shards behind an RSS dispatcher.
+
+    ``shard_factory(i)`` builds shard ``i``'s switch — callers derive
+    per-shard seeds via :func:`shard_seed` (the registry backend does).
+    Rule management (:meth:`add_rule` / :meth:`add_rules` /
+    :meth:`remove_tenant_rules` / :meth:`invalidate_caches`) and defense
+    guards broadcast to every shard; guard *objects* are shared, so
+    per-cache limits (e.g. the mask budget) apply per shard while the
+    guard's own counters aggregate across them.
+    """
+
+    has_flow_cache = True
+
+    def __init__(
+        self,
+        space: FieldSpace,
+        shard_factory: Callable[[int], OvsSwitch],
+        shards: int = 1,
+        name: str = "pmd",
+        rss_fields: Sequence[str] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.name = name
+        self.space = space
+        self.shards: list[OvsSwitch] = [shard_factory(i) for i in range(shards)]
+        fields = tuple(
+            f for f in (rss_fields or RSS_FIELDS) if f in space
+        )
+        # the RSS hash input: mask the packed key down to the steering
+        # fields with one precomputed AND (zero per-field work per packet)
+        self._rss_mask = space.pack(
+            tuple(
+                spec.max_value if spec.name in fields else 0
+                for spec in space.specs
+            )
+        ) if fields else 0
+        self.rss_fields = fields
+
+    # -- dispatch ----------------------------------------------------------
+
+    def shard_of(self, key: FlowKey) -> int:
+        """The shard index ``key``'s packets are steered to."""
+        if len(self.shards) == 1:
+            return 0
+        return rss_hash(key.packed & self._rss_mask) % len(self.shards)
+
+    def shard_for(self, key: FlowKey) -> OvsSwitch:
+        """The shard switch serving ``key`` (the simulator's per-flow
+        cost view)."""
+        return self.shards[self.shard_of(key)]
+
+    # -- datapath ----------------------------------------------------------
+
+    def process(self, key_or_packet, in_port: int = 0,
+                now: float | None = None) -> PacketResult:
+        """Single-key special case of :meth:`process_batch`."""
+        if not isinstance(key_or_packet, FlowKey):
+            from repro.flow.extract import flow_key_from_packet
+
+            key_or_packet = flow_key_from_packet(
+                key_or_packet, in_port=in_port, space=self.space
+            )
+        return self.shard_for(key_or_packet).process(key_or_packet, now=now)
+
+    def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
+                      now: float | None = None) -> BatchResult:
+        """Dispatch a burst: bucket keys by RSS shard (keeping each
+        shard's sub-burst in arrival order, as a NIC queue would), run
+        one :meth:`OvsSwitch.process_batch` per shard, and reassemble
+        results in input order.  Shards share no state, so this is
+        exactly equivalent to per-key dispatch."""
+        shards = self.shards
+        if len(shards) == 1:
+            return shards[0].process_batch(keys, now=now)
+        keys = list(keys)
+        buckets: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            buckets.setdefault(self.shard_of(key), []).append(position)
+        slots: list[PacketResult | None] = [None] * len(keys)
+        for shard, positions in buckets.items():
+            sub = shards[shard].process_batch(
+                [keys[p] for p in positions], now=now
+            )
+            for position, result in zip(positions, sub.results):
+                slots[position] = result
+        batch = BatchResult()
+        for result in slots:
+            assert result is not None
+            batch.add(result)
+        return batch
+
+    def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
+        return self.shard_for(key).handle_miss(key, now)
+
+    def advance_clock(self, now: float) -> None:
+        for shard in self.shards:
+            shard.advance_clock(now)
+
+    # -- slow-path rule management (broadcast) ------------------------------
+
+    def add_rule(self, rule: FlowRule) -> FlowRule:
+        added = rule
+        for shard in self.shards:
+            added = shard.add_rule(rule)
+        return added
+
+    def add_rules(self, rules: list[FlowRule]) -> None:
+        for shard in self.shards:
+            shard.add_rules(rules)
+
+    def remove_tenant_rules(self, tenant: str) -> int:
+        return max(shard.remove_tenant_rules(tenant) for shard in self.shards)
+
+    def add_install_guard(self, guard: InstallGuard) -> None:
+        for shard in self.shards:
+            shard.add_install_guard(guard)
+
+    def invalidate_caches(self) -> None:
+        for shard in self.shards:
+            shard.invalidate_caches()
+
+    # -- aggregated observables ---------------------------------------------
+
+    @property
+    def stats(self) -> SwitchStats:
+        """Merged per-shard counters (a fresh snapshot each access)."""
+        return SwitchStats.merge(*(shard.stats for shard in self.shards))
+
+    @property
+    def shard_mask_counts(self) -> list[int]:
+        """Distinct megaflow masks per shard, in shard order."""
+        return [shard.mask_count for shard in self.shards]
+
+    @property
+    def mask_count(self) -> int:
+        """The worst per-shard mask count — the scan bound a packet on
+        the most-poisoned PMD actually meets (Fig. 3's right axis reads
+        this for the sharded backend)."""
+        return max(self.shard_mask_counts)
+
+    @property
+    def total_mask_count(self) -> int:
+        """Masks summed over shards (each shard's subtables are its
+        own; the same mask on two shards is two scan entries)."""
+        return sum(self.shard_mask_counts)
+
+    @property
+    def megaflow_count(self) -> int:
+        return sum(shard.megaflow_count for shard in self.shards)
+
+    @property
+    def cache_capacity(self) -> int:
+        """Aggregate exact-match capacity (each PMD has its own EMC)."""
+        return sum(shard.cache_capacity for shard in self.shards)
+
+    @property
+    def staged(self) -> bool:
+        return self.shards[0].staged
+
+    @property
+    def scan_order(self) -> str:
+        return self.shards[0].scan_order
+
+    @property
+    def key_mode(self) -> str:
+        return self.shards[0].key_mode
+
+    def expected_scan_depth(self) -> float:
+        """Lookup-weighted mean of the per-shard expected scan depths
+        (shards that serve more TSS lookups weigh more; with no history
+        the shards average evenly)."""
+        depths = [shard.expected_scan_depth() for shard in self.shards]
+        weights = [shard.megaflow.tss.total_lookups for shard in self.shards]
+        total = sum(weights)
+        if not total:
+            return sum(depths) / len(depths)
+        return sum(d * w for d, w in zip(depths, weights)) / total
+
+    @property
+    def rule_count(self) -> int:
+        return self.shards[0].rule_count  # broadcast: identical everywhere
+
+    @property
+    def idle_timeout(self) -> float:
+        return self.shards[0].idle_timeout
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDatapath({self.name}: {len(self.shards)} shards, "
+            f"masks/shard={self.shard_mask_counts}, "
+            f"{self.megaflow_count} megaflows)"
+        )

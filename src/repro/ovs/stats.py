@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -28,6 +29,24 @@ class SwitchStats:
         """Accumulate one TSS scan's cost."""
         self.tuples_scanned += tuples_scanned
         self.hash_probes += hash_probes
+
+    @classmethod
+    def merge(cls, *stats: "SwitchStats") -> "SwitchStats":
+        """Sum counters across several stats objects into a fresh one.
+
+        The aggregation point for multi-switch datapaths — the sharded
+        per-PMD backend merges its shards' snapshots this way, and fleet
+        runs can fold per-node stats the same way — so consumers never
+        hand-sum fields (and silently miss new counters)."""
+        merged = cls()
+        for one in stats:
+            for spec in dataclasses.fields(cls):
+                setattr(
+                    merged,
+                    spec.name,
+                    getattr(merged, spec.name) + getattr(one, spec.name),
+                )
+        return merged
 
     @property
     def emc_hit_rate(self) -> float:

@@ -196,78 +196,122 @@ class OvsSwitch:
             self.clock = now
         return self.clock
 
+    #: batched TSS chunks never grow beyond this many keys
+    MAX_BATCH_WINDOW = 1024
+
     def process(self, key_or_packet: FlowKey | Layer | bytes,
                 in_port: int = 0, now: float | None = None) -> PacketResult:
         """Run one packet (or pre-extracted key) through the pipeline.
 
-        ``now`` may only move the switch clock forward (see
-        :meth:`_advance`); a stale value is clamped to the current clock.
+        This is the single-key special case of :meth:`process_batch` —
+        the batch entry is the primary datapath protocol; per-packet
+        callers pay a one-element burst.  ``now`` may only move the
+        switch clock forward (see :meth:`_advance`); a stale value is
+        clamped to the current clock.
         """
         if isinstance(key_or_packet, FlowKey):
             key = key_or_packet
         else:
             key = flow_key_from_packet(key_or_packet, in_port=in_port, space=self.space)
-        now = self._advance(now)
-        self.revalidator.maybe_sweep(now)
-        return self._process_one(key, now)
+        return self.process_batch((key,), now=now).results[0]
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
                       now: float | None = None) -> BatchResult:
-        """Run a burst of pre-extracted keys through the pipeline.
+        """Run a burst of pre-extracted keys through the pipeline — the
+        **primary** datapath entry point.
 
         Semantically identical to calling :meth:`process` per key with
-        the same ``now`` — same stats, same cache state — but the clock
-        update and revalidator check run once for the whole burst, which
-        is how a real datapath amortises per-packet overhead over a
-        received batch (and how the simulator avoids paying Python call
-        overhead per victim packet).  As with :meth:`process`, a stale
-        ``now`` is clamped to the monotonic clock.
+        the same ``now`` — bit-identical results, stats and cache state
+        — but the per-burst overhead is amortised: the clock update and
+        revalidator check run once, and runs of keys that miss the
+        exact-match layer are looked up through the TSS in *bucketed*
+        chunks (:meth:`~repro.ovs.tss.TupleSpaceSearch.lookup_batch`
+        walks the subtable pvector once per chunk instead of once per
+        key).  A run breaks wherever sequential semantics demand it: at
+        keys the EMC may already hold (their outcome depends on the
+        run's pending inserts), at duplicates within the run, and at
+        every TSS miss (the upcall mutates the tuple space).  Chunks
+        ramp up from one key and reset on a miss, so miss-heavy bursts
+        degrade gracefully to exactly the per-key work.  As with
+        :meth:`process`, a stale ``now`` is clamped to the monotonic
+        clock.
         """
         now = self._advance(now)
         self.revalidator.maybe_sweep(now)
         batch = BatchResult()
+        run: list[FlowKey] = []
+        run_set: set[FlowKey] = set()
         for key in keys:
-            batch.add(self._process_one(key, now))
+            if run and (key in run_set or self.microflow.contains(key)):
+                # this key's EMC lookup does not commute with the run's
+                # pending inserts: flush first, then look it up at its
+                # true sequential point
+                self._flush_run(run, run_set, batch, now)
+            self.stats.packets += 1
+            entry = self.microflow.lookup(key, now)
+            if entry is not None:
+                batch.add(self._finish_microflow_hit(entry, now))
+            else:
+                run.append(key)
+                run_set.add(key)
+        if run:
+            self._flush_run(run, run_set, batch, now)
         return batch
 
-    def _process_one(self, key: FlowKey, now: float) -> PacketResult:
-        """The three-layer pipeline for one pre-extracted key (clock and
-        revalidator already handled by the caller)."""
-        self.stats.packets += 1
+    def _flush_run(self, run: list[FlowKey], run_set: set[FlowKey],
+                   batch: BatchResult, now: float) -> None:
+        """Drain a run of EMC-missed keys through the TSS in bucketed
+        chunks, falling back to chunk-of-one around upcalls."""
+        start = 0
+        window = 1
+        n = len(run)
+        while start < n:
+            chunk = run[start:start + window]
+            results = self.megaflow.lookup_batch(chunk, now)
+            clean = True
+            for key, tss_result in zip(chunk, results):
+                if tss_result.hit:
+                    batch.add(self._finish_megaflow_hit(key, tss_result, now))
+                else:
+                    batch.add(self._finish_upcall(key, tss_result, now))
+                    clean = False
+            start += len(results)
+            if not clean:
+                window = 1  # the upcall mutated the TSS: re-probe small
+            elif len(results) == len(chunk):
+                window = min(window * 2, self.MAX_BATCH_WINDOW)
+        run.clear()
+        run_set.clear()
 
-        # layer 1: microflow cache
-        entry = self.microflow.lookup(key, now)
-        if entry is not None:
-            entry.touch(now)
-            result = PacketResult(
-                action=entry.action,
-                path=LookupPath.MICROFLOW,
-                tuples_scanned=0,
-                hash_probes=0,
-                entry=entry,
-            )
-            self.stats.emc_hits += 1
-            self._account(result)
-            return result
+    def _finish_microflow_hit(self, entry: MegaflowEntry, now: float) -> PacketResult:
+        entry.touch(now)
+        result = PacketResult(
+            action=entry.action,
+            path=LookupPath.MICROFLOW,
+            tuples_scanned=0,
+            hash_probes=0,
+            entry=entry,
+        )
+        self.stats.emc_hits += 1
+        self._account(result)
+        return result
 
-        # layer 2: megaflow cache (TSS)
-        tss_result = self.megaflow.lookup(key, now)
-        if tss_result.hit:
-            megaflow_entry: MegaflowEntry = tss_result.entry  # type: ignore[assignment]
-            self.microflow.insert(key, megaflow_entry, now)
-            result = PacketResult(
-                action=megaflow_entry.action,
-                path=LookupPath.MEGAFLOW,
-                tuples_scanned=tss_result.tuples_scanned,
-                hash_probes=tss_result.hash_probes,
-                entry=megaflow_entry,
-            )
-            self.stats.megaflow_hits += 1
-            self.stats.record_scan(result.tuples_scanned, result.hash_probes)
-            self._account(result)
-            return result
+    def _finish_megaflow_hit(self, key: FlowKey, tss_result, now: float) -> PacketResult:
+        megaflow_entry: MegaflowEntry = tss_result.entry  # type: ignore[assignment]
+        self.microflow.insert(key, megaflow_entry, now)
+        result = PacketResult(
+            action=megaflow_entry.action,
+            path=LookupPath.MEGAFLOW,
+            tuples_scanned=tss_result.tuples_scanned,
+            hash_probes=tss_result.hash_probes,
+            entry=megaflow_entry,
+        )
+        self.stats.megaflow_hits += 1
+        self.stats.record_scan(result.tuples_scanned, result.hash_probes)
+        self._account(result)
+        return result
 
-        # layer 3: slow path upcall
+    def _finish_upcall(self, key: FlowKey, tss_result, now: float) -> PacketResult:
         upcall = self.slow_path.handle(key, now)
         if upcall.installed is not None:
             self.microflow.insert(key, upcall.installed, now)

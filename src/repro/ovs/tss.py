@@ -48,7 +48,7 @@ stage indexes key on partial tuples).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.flow.fields import FieldSpace
 from repro.flow.key import FlowKey
@@ -466,6 +466,100 @@ class TupleSpaceSearch:
                     return TssLookupResult(entry, tuples_scanned, hash_probes)
         self._account(tuples_scanned, hash_probes)
         return TssLookupResult(None, tuples_scanned, hash_probes)
+
+    def lookup_batch(self, keys: Sequence[FlowKey]) -> list[TssLookupResult]:
+        """Scan a burst of keys, walking the subtable list **once** for
+        the whole burst (subtable-major: each subtable's hash table and
+        packed mask are fetched once and probed for every still-pending
+        key) instead of once per key.
+
+        Returns results for a **prefix** of ``keys``: every leading hit,
+        plus the first miss when one occurs.  A miss ends the prefix
+        because the caller's upcall will mutate the tuple space (a new
+        subtable, a changed scan list), so keys after it must be
+        re-scanned against the post-upcall state — resubmit the
+        remainder after handling the miss.  Within the prefix the call
+        is *exactly* equivalent to per-key :meth:`lookup`: same entries,
+        same ``tuples_scanned``/``hash_probes``, same hit crediting and
+        accounting (applied in key order), and ranked auto-re-sorts fire
+        on the same lookup they would sequentially (the burst is capped
+        at the next ``resort_interval`` boundary).
+        """
+        if not keys:
+            return []
+        if self.staged or self.scan_order == "hits":
+            # these paths mutate per lookup (stage indexes rebuild, the
+            # "hits" order re-sorts every scan): fall back to per-key
+            # lookups, honouring the prefix contract
+            results: list[TssLookupResult] = []
+            for key in keys:
+                result = self.lookup(key)
+                results.append(result)
+                if not result.hit:
+                    break
+            return results
+        limit = len(keys)
+        if self.scan_order == "ranked":
+            tables = self._ranked_tables()
+            if self.resort_interval:
+                # stop exactly where a sequential scan would re-sort, so
+                # every key in the burst sees the same frozen pvector a
+                # per-key caller would have seen
+                limit = min(
+                    limit, self.resort_interval - self._lookups_since_resort
+                )
+        else:
+            tables = list(self._subtables.values())
+        n_tables = len(tables)
+        pending = list(range(limit))
+        # per key: (entry, subtable, depth) once resolved
+        resolved: list[tuple[object, Subtable, int] | None] = [None] * limit
+        if self.key_mode == "packed":
+            packed = [keys[i].packed for i in range(limit)]
+            for depth, subtable in enumerate(tables, start=1):
+                if not pending:
+                    break
+                entries = subtable.entries_packed
+                mask = subtable.packed_mask
+                still: list[int] = []
+                for i in pending:
+                    entry = entries.get(packed[i] & mask)
+                    if entry is None:
+                        still.append(i)
+                    else:
+                        resolved[i] = (entry, subtable, depth)
+                pending = still
+        else:
+            values = [keys[i].values for i in range(limit)]
+            for depth, subtable in enumerate(tables, start=1):
+                if not pending:
+                    break
+                entries = subtable.entries
+                masks = subtable.masks
+                still = []
+                for i in pending:
+                    masked = tuple(v & m for v, m in zip(values[i], masks))
+                    entry = entries.get(masked)
+                    if entry is None:
+                        still.append(i)
+                    else:
+                        resolved[i] = (entry, subtable, depth)
+                pending = still
+        # consume the leading hits (and the first miss); crediting and
+        # accounting happen here, in key order, exactly as per-key
+        # lookups would have applied them
+        results = []
+        for i in range(limit):
+            hit = resolved[i]
+            if hit is None:
+                self._account(n_tables, n_tables)
+                results.append(TssLookupResult(None, n_tables, n_tables))
+                break
+            entry, subtable, depth = hit
+            subtable.credit_hit()
+            self._account(depth, depth)
+            results.append(TssLookupResult(entry, depth, depth))
+        return results
 
     def _account(self, tuples_scanned: int, hash_probes: int) -> None:
         self.total_lookups += 1

@@ -35,6 +35,9 @@ class DatapathProfile:
     #: default TSS subtable visit order ("insertion" models the kernel
     #: mask array; "ranked" the netdev dpcls subtable ranking)
     scan_order: str = "insertion"
+    #: forwarding shards (PMD threads, one classifier instance each);
+    #: 1 = the single-datapath setting the paper measures
+    shards: int = 1
 
 
 #: the kernel datapath (what a Kubernetes node uses — Fig. 3's setting):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.flow.fields import OVS_FIELDS, FieldSpace
+from repro.ovs.pmd import ShardedDatapath, shard_seed
 from repro.ovs.switch import OvsSwitch
 from repro.perf.costmodel import KERNEL_PROFILE, NETDEV_PROFILE, DatapathProfile
 from repro.util.registry import Registry
@@ -24,11 +25,16 @@ NETDEV_RANKED_PROFILE = replace(
     NETDEV_PROFILE, name="netdev-ranked", scan_order="ranked"
 )
 
+#: a 4-PMD userspace datapath: four independent dpcls shards behind the
+#: NIC's RSS spread, each with its own EMC, pvector and revalidator view
+NETDEV_PMD4_PROFILE = replace(NETDEV_PROFILE, name="netdev-pmd4", shards=4)
+
 #: the datapath-profile registry (string-keyed, scenario-addressable)
 PROFILES: Registry[DatapathProfile] = Registry("datapath profile")
 PROFILES.register("kernel", KERNEL_PROFILE)
 PROFILES.register("netdev", NETDEV_PROFILE)
 PROFILES.register("netdev-ranked", NETDEV_RANKED_PROFILE)
+PROFILES.register("netdev-pmd4", NETDEV_PMD4_PROFILE)
 
 
 def profile_by_name(name: str) -> DatapathProfile:
@@ -68,4 +74,40 @@ def switch_for_profile(
         scan_order=scan_order or profile.scan_order,
         key_mode=key_mode,
         rng=DeterministicRng(seed),
+    )
+
+
+def sharded_switch_for_profile(
+    profile: DatapathProfile | str,
+    space: FieldSpace = OVS_FIELDS,
+    name: str | None = None,
+    shards: int = 0,
+    staged_lookup: bool = False,
+    seed: int = 0,
+    scan_order: str | None = None,
+    key_mode: str = "packed",
+) -> ShardedDatapath:
+    """A multi-PMD datapath: ``shards`` independent per-profile switches
+    behind the RSS dispatcher (``shards=0`` takes the profile's own
+    shard count).  Shard ``i``'s RNG seed derives deterministically from
+    the base seed via :func:`~repro.ovs.pmd.shard_seed` — shard 0 keeps
+    the base seed, so a one-shard datapath is bit-identical to
+    :func:`switch_for_profile` with the same arguments."""
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    shards = shards or profile.shards
+    base = name or f"ovs-{profile.name}"
+    return ShardedDatapath(
+        space=space,
+        shards=shards,
+        name=base,
+        shard_factory=lambda i: switch_for_profile(
+            profile,
+            space=space,
+            name=base if shards == 1 else f"{base}-pmd{i}",
+            staged_lookup=staged_lookup,
+            seed=shard_seed(seed, i),
+            scan_order=scan_order,
+            key_mode=key_mode,
+        ),
     )

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.flow.key import FlowKey
 from repro.ovs.megaflow import MegaflowEntry
+from repro.ovs.pmd import shard_views
 from repro.ovs.switch import OvsSwitch
 from repro.perf.costmodel import CostModel
 
@@ -120,6 +121,16 @@ class DataplaneSimulator:
         self._covert_cursor = 0
         self._attacker_entries: dict[FlowKey, MegaflowEntry] = {}
         self._victim_entries: dict[FlowKey, MegaflowEntry] = {}
+        # the per-PMD shard views: a sharded datapath exposes its shards
+        # (each with its own mask set, caches and clocks); an unsharded
+        # one is its own single shard.  Attacker damage is charged to the
+        # shard a covert flow RSS-hashes to, and victim capacity is
+        # evaluated per shard — with one shard both reduce exactly to the
+        # single-datapath arithmetic.
+        self._shards: list = shard_views(switch)
+        self._shard_of: Callable[[FlowKey], int] = getattr(
+            switch, "shard_of", lambda _key: 0
+        )
 
     # -- helpers -------------------------------------------------------------
 
@@ -148,9 +159,14 @@ class DataplaneSimulator:
                 if result.entry is not None:
                     self._victim_entries[key] = result.entry
 
-    def _send_covert(self, t0: float, t1: float) -> tuple[int, float]:
+    def _send_covert(self, t0: float, t1: float) -> tuple[int, list[float]]:
         """Send the covert packets due in [t0, t1); returns
-        ``(packets_sent, attacker_cycles)``.
+        ``(packets_sent, attacker_cycles_by_shard)``.
+
+        Each covert packet's cost lands on the PMD shard its flow
+        RSS-hashes to, against *that shard's* mask count — attacker
+        damage stays confined to the shards the covert flows reach
+        (with one shard this is the whole datapath, as before).
 
         Packets whose megaflow is already installed only refresh it
         (entry touch) and are charged the expected megaflow-hit cost.
@@ -162,11 +178,12 @@ class DataplaneSimulator:
         through the cost model.  Cache state is identical either way
         (a TSS miss mutates nothing), only Python time differs.
         """
+        cycles_by_shard = [0.0] * len(self._shards)
         if self.attacker is None or not self.covert_keys:
-            return 0, 0.0
+            return 0, cycles_by_shard
         due = self.attacker.packets_due(t0, t1)
         if due <= 0:
-            return 0, 0.0
+            return 0, cycles_by_shard
         n_keys = len(self.covert_keys)
         mid = t0 + (t1 - t0) / 2
         if not self.switch.has_flow_cache:
@@ -178,44 +195,46 @@ class DataplaneSimulator:
             ]
             self._covert_cursor += due
             batch = self.switch.process_batch(burst, now=mid)
-            cycles = (
+            cycles_by_shard[0] = (
                 due * self.cost_model.cycles_megaflow_base
                 + batch.tuples_scanned * self.cost_model.cycles_tuple_probe
             )
-            return due, cycles
+            return due, cycles_by_shard
         # under subtable ranking the expected hit scan follows the
-        # measured hit distribution (computed once per tick: the covert
-        # refreshes below keep spreading hits across every subtable,
-        # which is exactly what flattens the ranking's payoff)
+        # measured hit distribution (computed once per tick and shard:
+        # the covert refreshes below keep spreading hits across every
+        # subtable, which is exactly what flattens the ranking's payoff)
         ranked = getattr(self.switch, "scan_order", "insertion") == "ranked"
-        ranked_hit_cost = (
-            self.cost_model.megaflow_hit_cost(
-                self.switch.expected_scan_depth(), self.switch.staged
-            )
+        ranked_hit_costs = (
+            [
+                self.cost_model.megaflow_hit_cost(
+                    view.expected_scan_depth(), view.staged
+                )
+                for view in self._shards
+            ]
             if ranked
-            else 0.0
+            else []
         )
-        cycles = 0.0
         for _ in range(due):
             key = self.covert_keys[self._covert_cursor % n_keys]
             self._covert_cursor += 1
+            shard = self._shard_of(key)
+            view = self._shards[shard]
             entry = self._attacker_entries.get(key)
             if entry is not None and entry.alive:
                 entry.refresh(t1)
-                cycles += ranked_hit_cost if ranked else (
-                    self.cost_model.expected_megaflow_hit_cost(
-                        self.switch.mask_count
-                    )
+                cycles_by_shard[shard] += ranked_hit_costs[shard] if ranked else (
+                    self.cost_model.expected_megaflow_hit_cost(view.mask_count)
                 )
             else:
                 installed = self.switch.handle_miss(key, now=mid)
                 if installed is not None:
                     self._attacker_entries[key] = installed
-                cycles += self.cost_model.miss_cost(
-                    self.switch.mask_count,
-                    rules_examined=self.switch.rule_count,
+                cycles_by_shard[shard] += self.cost_model.miss_cost(
+                    view.mask_count,
+                    rules_examined=view.rule_count,
                 )
-        return due, cycles
+        return due, cycles_by_shard
 
     def _emc_hit_rate(self, attack_active: bool) -> float:
         """Capacity-competition model of the exact-match layer: with far
@@ -230,8 +249,10 @@ class DataplaneSimulator:
         capacity = self.switch.cache_capacity
         return EMC_MAX_LOCALITY * min(1.0, capacity / active_flows)
 
-    def _victim_avg_cost(self, emc_hit_rate: float) -> float:
-        """Expected per-packet cycles for the victim aggregate.
+    def _victim_avg_cost(self, view, emc_hit_rate: float) -> float:
+        """Expected per-packet cycles for the victim share served by one
+        PMD shard (``view`` is the shard's switch, or the whole datapath
+        when unsharded).
 
         The megaflow-hit scan uses the unordered-mask-array convention
         ``(n+1)/2`` (the kernel datapath), except under subtable
@@ -241,16 +262,16 @@ class DataplaneSimulator:
         expectation near ``(n+1)/2``.  Ranking never helps the miss
         term: a miss still visits every subtable.
         """
-        masks = self.switch.mask_count
+        masks = view.mask_count
         if not self.switch.has_flow_cache:
             # cacheless backend: every packet pays the same static scan
             # over the compiled rule groups — no upcalls, no cache state
             return self.cost_model.megaflow_hit_cost(masks)
-        staged = self.switch.staged
+        staged = view.staged
         f_new = self.victim.miss_fraction
-        if getattr(self.switch, "scan_order", "insertion") == "ranked":
+        if getattr(view, "scan_order", "insertion") == "ranked":
             megaflow_hit = self.cost_model.megaflow_hit_cost(
-                self.switch.expected_scan_depth(), staged
+                view.expected_scan_depth(), staged
             )
         else:
             megaflow_hit = self.cost_model.expected_megaflow_hit_cost(masks, staged)
@@ -259,7 +280,7 @@ class DataplaneSimulator:
             + (1.0 - emc_hit_rate) * megaflow_hit
         )
         miss_cost = self.cost_model.miss_cost(
-            masks, rules_examined=max(self.switch.rule_count, 1), staged=staged
+            masks, rules_examined=max(view.rule_count, 1), staged=staged
         )
         return f_new * miss_cost + (1.0 - f_new) * hit_cost
 
@@ -285,22 +306,40 @@ class DataplaneSimulator:
             t_next = t + self.dt
             self._run_events(t, t_next)
             self._refresh_victim_flows(t_next)
-            sent, attacker_cycles = self._send_covert(t, t_next)
+            sent, cycles_by_shard = self._send_covert(t, t_next)
             self.switch.advance_clock(t_next)
 
             attack_active = self.attacker is not None and self.attacker.active_at(t)
             emc_hit_rate = self._emc_hit_rate(attack_active)
-            avg_cost = self._victim_avg_cost(emc_hit_rate)
 
-            reval_cycles = (
-                self.switch.megaflow_count
-                * self.cost_model.cycles_revalidate_flow
-                * REVALIDATOR_SWEEPS_PER_SEC
-            )
-            attacker_cycles_per_sec = attacker_cycles / self.dt
-            available = self.cost_model.cpu_hz - attacker_cycles_per_sec - reval_cycles
-            capacity_pps = self.cost_model.capacity_pps(avg_cost, available)
-            achieved_pps = min(self.victim.offered_pps, capacity_pps)
+            # per-PMD capacity: each shard's core spends its own budget
+            # on the victim share it serves (offered load RSS-spreads
+            # evenly), minus the attacker and revalidator cycles landing
+            # on *that* shard.  One shard reduces to the classic
+            # single-datapath formula term for term.
+            shards = self._shards
+            n_shards = len(shards)
+            offered_share_pps = self.victim.offered_pps / n_shards
+            achieved_pps = 0.0
+            capacity_pps = 0.0
+            avg_cost_total = 0.0
+            attacker_cycles = 0.0
+            for index, view in enumerate(shards):
+                avg_cost = self._victim_avg_cost(view, emc_hit_rate)
+                avg_cost_total += avg_cost
+                reval_cycles = (
+                    view.megaflow_count
+                    * self.cost_model.cycles_revalidate_flow
+                    * REVALIDATOR_SWEEPS_PER_SEC
+                )
+                shard_attacker_per_sec = cycles_by_shard[index] / self.dt
+                attacker_cycles += cycles_by_shard[index]
+                available = (
+                    self.cost_model.cpu_hz - shard_attacker_per_sec - reval_cycles
+                )
+                shard_capacity = self.cost_model.capacity_pps(avg_cost, available)
+                capacity_pps += shard_capacity
+                achieved_pps += min(offered_share_pps, shard_capacity)
             if self.noise:
                 achieved_pps *= 1.0 + self.rng.uniform(-self.noise, self.noise)
             frame_bits = self.victim.frame_bytes * 8
@@ -312,9 +351,9 @@ class DataplaneSimulator:
                 masks=self.switch.mask_count,
                 megaflows=self.switch.megaflow_count,
                 emc_hit_rate=emc_hit_rate,
-                victim_avg_cycles=avg_cost,
+                victim_avg_cycles=avg_cost_total / n_shards,
                 attacker_pps=sent / self.dt,
-                attacker_cycles=attacker_cycles_per_sec,
+                attacker_cycles=attacker_cycles / self.dt,
             )
             t = t_next
         return SimulationResult(series, self.switch, self.victim, self.attacker)

@@ -3,15 +3,26 @@
 Extracted from :class:`~repro.ovs.switch.OvsSwitch` so the simulator
 and the Session facade run against *any* packet classifier, not just
 the OVS cache hierarchy.  The protocol is deliberately small: the
-per-packet entry points (``process`` / ``process_batch`` /
-``handle_miss``), the slow-path rule management the CMS layer needs,
-and the observables the cost model reads (mask count, cache capacity,
-staged flag).
+datapath entry points, the slow-path rule management the CMS layer
+needs, and the observables the cost model reads (mask count, cache
+capacity, staged flag).
 
-Two backends ship:
+The protocol is **batch-first**: ``process_batch`` is the primary
+entry point — backends amortise per-burst work (clock/revalidator
+bookkeeping, bucketed TSS chunk lookups) across it — and ``process``
+is contractually the single-key special case (``process(k)`` must
+equal ``process_batch([k]).results[0]``, state and stats included).
+``handle_miss`` remains the known-miss slow-path shortcut for replay
+harnesses.
+
+Three backend families ship:
 
 * ``"ovs"`` — :class:`~repro.ovs.switch.OvsSwitch` itself (it already
   satisfies the protocol structurally);
+* ``"sharded"`` — :class:`~repro.ovs.pmd.ShardedDatapath`: N per-PMD
+  :class:`OvsSwitch` shards behind an RSS-style dispatcher, one
+  megaflow cache / mask set / ranked pvector / clock per shard, with
+  rule management broadcast and observables aggregated;
 * ``"cacheless"`` — :class:`CachelessDatapath` below, adapting the
   ESwitch-style :class:`~repro.defense.cacheless.CachelessSwitch`:
   every packet is classified from scratch against a static tuple space
@@ -116,30 +127,33 @@ class CachelessDatapath:
 
     def process(self, key_or_packet, in_port: int = 0,
                 now: float | None = None) -> PacketResult:
+        """The single-key special case of :meth:`process_batch` (the
+        batch-first protocol contract)."""
         if not isinstance(key_or_packet, FlowKey):
             from repro.flow.extract import flow_key_from_packet
 
             key_or_packet = flow_key_from_packet(
                 key_or_packet, in_port=in_port, space=self.space
             )
-        if now is not None and now > self.clock:
-            self.clock = now  # monotonic, like OvsSwitch
-        outcome = self.inner.process(key_or_packet)
-        return PacketResult(
-            action=outcome.action,
-            path=LookupPath.CACHELESS,
-            tuples_scanned=outcome.groups_probed,
-            hash_probes=outcome.groups_probed,
-            entry=None,
-        )
+        return self.process_batch((key_or_packet,), now=now).results[0]
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
                       now: float | None = None) -> BatchResult:
         if now is not None and now > self.clock:
-            self.clock = now
+            self.clock = now  # monotonic, like OvsSwitch
         batch = BatchResult()
+        classify = self.inner.process
         for key in keys:
-            batch.add(self.process(key))
+            outcome = classify(key)
+            batch.add(
+                PacketResult(
+                    action=outcome.action,
+                    path=LookupPath.CACHELESS,
+                    tuples_scanned=outcome.groups_probed,
+                    hash_probes=outcome.groups_probed,
+                    entry=None,
+                )
+            )
         return batch
 
     def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:

@@ -112,6 +112,29 @@ SCENARIOS.register(
     ),
 )
 SCENARIOS.register(
+    "calico-sharded",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-sharded",
+        backend="sharded",
+        shards=4,
+        duration=120.0,
+        attack_start=30.0,
+        description="the 8192-mask attack vs 4 RSS-sharded PMD datapaths",
+    ),
+)
+SCENARIOS.register(
+    "calico-netdev-pmd4",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-netdev-pmd4",
+        profile="netdev-pmd4",
+        duration=120.0,
+        attack_start=30.0,
+        description="the 8192-mask attack vs the 4-PMD userspace profile",
+    ),
+)
+SCENARIOS.register(
     "calico-cacheless",
     ScenarioSpec(
         surface="calico",

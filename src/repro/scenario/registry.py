@@ -30,9 +30,14 @@ from repro.defense.rate_limit import UpcallRateLimitGuard
 from repro.flow.fields import OVS_FIELDS, FieldSpace, toy_single_field_space
 from repro.flow.key import FlowKey
 from repro.flow.rule import FlowRule
+from repro.ovs.pmd import shard_views
 from repro.ovs.switch import OvsSwitch
 from repro.perf.costmodel import DatapathProfile
-from repro.perf.factory import PROFILES, switch_for_profile
+from repro.perf.factory import (
+    PROFILES,
+    sharded_switch_for_profile,
+    switch_for_profile,
+)
 from repro.scenario.datapath import CachelessDatapath, Datapath
 from repro.util.registry import Registry
 
@@ -278,9 +283,12 @@ class _DetectorDefense(DefenseAgent):
 
     def events(self, attack_start: float):
         def respond(switch: OvsSwitch) -> None:
-            verdict = self.detector.observe(switch)
-            for tenant in verdict.flagged:
-                self.detector.respond(switch, tenant)
+            # a sharded datapath is observed per PMD shard (each has its
+            # own megaflow cache); the unsharded switch is its own shard
+            for shard in shard_views(switch):
+                verdict = self.detector.observe(shard)
+                for tenant in verdict.flagged:
+                    self.detector.respond(shard, tenant)
 
         return [(attack_start + self.respond_delay, respond)]
 
@@ -339,7 +347,10 @@ def _detector(threshold: int = 64, respond_delay: float = 20.0) -> DefenseAgent:
 # ---------------------------------------------------------------------------
 
 #: a backend builder:
-#: (profile, space, name, seed, staged, scan_order, key_mode) -> Datapath
+#: (profile, space, name, seed, staged, scan_order, key_mode, shards)
+#: -> Datapath.  ``shards`` resolves as spec override or profile
+#: default; builders without a sharded variant must reject shards > 1
+#: rather than silently ignore the axis.
 BackendBuilder = Callable[..., Datapath]
 
 BACKENDS: Registry[BackendBuilder] = Registry("datapath backend")
@@ -348,21 +359,47 @@ BACKENDS: Registry[BackendBuilder] = Registry("datapath backend")
 @BACKENDS.register("ovs")
 def _ovs_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                  seed: int = 0, staged: bool = False, scan_order: str = "",
-                 key_mode: str = "packed") -> Datapath:
+                 key_mode: str = "packed", shards: int = 1) -> Datapath:
+    if shards > 1:
+        return sharded_switch_for_profile(
+            profile, space=space, name=name, shards=shards,
+            staged_lookup=staged, seed=seed, scan_order=scan_order or None,
+            key_mode=key_mode,
+        )
     return switch_for_profile(
         profile, space=space, name=name, staged_lookup=staged, seed=seed,
         scan_order=scan_order or None, key_mode=key_mode,
     )
 
 
+@BACKENDS.register("sharded")
+def _sharded_backend(profile: DatapathProfile, space: FieldSpace, name: str,
+                     seed: int = 0, staged: bool = False, scan_order: str = "",
+                     key_mode: str = "packed", shards: int = 1) -> Datapath:
+    """The multi-PMD datapath, explicitly — even at ``shards=1``, where
+    it is observationally identical to the ``ovs`` backend (the
+    equivalence the test suite pins)."""
+    return sharded_switch_for_profile(
+        profile, space=space, name=name, shards=shards,
+        staged_lookup=staged, seed=seed, scan_order=scan_order or None,
+        key_mode=key_mode,
+    )
+
+
 @BACKENDS.register("ovs-tuple")
 def _ovs_tuple_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                        seed: int = 0, staged: bool = False, scan_order: str = "",
-                       **_ignored) -> Datapath:
+                       shards: int = 1, **_ignored) -> Datapath:
     """The tuple-keyed reference TSS (the packed fast path's checked
     baseline) — run any scenario through it to cross-validate results.
     Pins ``key_mode="tuple"``; a spec's ``key_mode`` is ignored here
     (that is this backend's entire point)."""
+    if shards > 1:
+        return sharded_switch_for_profile(
+            profile, space=space, name=name, shards=shards,
+            staged_lookup=staged, seed=seed, scan_order=scan_order or None,
+            key_mode="tuple",
+        )
     return switch_for_profile(
         profile, space=space, name=name, staged_lookup=staged, seed=seed,
         scan_order=scan_order or None, key_mode="tuple",
@@ -372,5 +409,10 @@ def _ovs_tuple_backend(profile: DatapathProfile, space: FieldSpace, name: str,
 @BACKENDS.register("cacheless")
 def _cacheless_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                        seed: int = 0, staged: bool = False, scan_order: str = "",
-                       key_mode: str = "packed") -> Datapath:
+                       key_mode: str = "packed", shards: int = 1) -> Datapath:
+    if shards > 1:
+        raise ValueError(
+            "the cacheless backend has no sharded variant (its per-packet "
+            "cost is already attack-independent); use shards=1"
+        )
     return CachelessDatapath(space, name=name)

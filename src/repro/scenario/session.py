@@ -26,6 +26,7 @@ from repro.attack.analysis import reachable_mask_count
 from repro.attack.campaign import AttackCampaign, CampaignReport
 from repro.cms.base import PolicyTarget
 from repro.net.addresses import ip_to_int
+from repro.ovs.pmd import shard_views
 from repro.perf.costmodel import CostModel
 from repro.perf.workload import AttackerWorkload, VictimWorkload
 from repro.scenario.datapath import Datapath
@@ -245,6 +246,7 @@ class Session:
             staged=self.spec.staged_lookup,
             scan_order=self.spec.scan_order,
             key_mode=self.spec.key_mode,
+            shards=self.spec.shards or self.profile.shards,
         )
         for defense in self.defenses:
             defense.attach(datapath)
@@ -329,9 +331,12 @@ class Session:
         else:
             for key in keys:
                 datapath.handle_miss(key, now=0.0)
+        # a sharded datapath scatters the masks across its shards; the
+        # figure comparable to the closed-form prediction is their sum
+        measured = getattr(datapath, "total_mask_count", datapath.mask_count)
         return MaskProbe(
             predicted=reachable_mask_count(self.dimensions),
-            measured=datapath.mask_count,
+            measured=measured,
             rows=_megaflow_rows(datapath),
             datapath=datapath,
         )
@@ -358,18 +363,23 @@ class Session:
 
 def _megaflow_rows(datapath: Datapath) -> list[tuple[str, str, str]]:
     """The megaflow cache as (key, mask, action) text rows in install
-    order — the format of the paper's Fig. 2b."""
-    megaflow = getattr(datapath, "megaflow", None)
-    if megaflow is None:
-        return []
-    space = datapath.space
-    rows = []
-    for entry in megaflow.entries():
-        key_text = ",".join(
-            spec.format(value) for spec, value in zip(space.specs, entry.match.values)
-        )
-        mask_text = ",".join(
-            spec.format(mask) for spec, mask in zip(space.specs, entry.match.masks)
-        )
-        rows.append((key_text, mask_text, entry.action.kind))
+    order — the format of the paper's Fig. 2b.  A sharded datapath
+    contributes its shards' caches in shard order; backends without a
+    megaflow cache contribute nothing."""
+    rows: list[tuple[str, str, str]] = []
+    for view in shard_views(datapath):
+        megaflow = getattr(view, "megaflow", None)
+        if megaflow is None:
+            continue
+        space = view.space
+        for entry in megaflow.entries():
+            key_text = ",".join(
+                spec.format(value)
+                for spec, value in zip(space.specs, entry.match.values)
+            )
+            mask_text = ",".join(
+                spec.format(mask)
+                for spec, mask in zip(space.specs, entry.match.masks)
+            )
+            rows.append((key_text, mask_text, entry.action.kind))
     return rows

@@ -82,6 +82,11 @@ class ScenarioSpec:
     #: TSS hash-key representation ("packed" fast path | "tuple"
     #: reference); both yield identical results and scan accounting
     key_mode: str = "packed"
+    #: forwarding shards (PMD threads, one classifier each; packets are
+    #: RSS-dispatched); 0 defers to the datapath profile's default, and
+    #: an effective count of 1 is behaviourally identical to the
+    #: unsharded switch
+    shards: int = 0
     #: multiplicative throughput noise (0 = deterministic)
     noise: float = 0.0
     seed: int = 7
@@ -100,6 +105,8 @@ class ScenarioSpec:
             object.__setattr__(self, "name", self.surface)
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0 (0 = profile default)")
 
     # -- registry validation ------------------------------------------------
 

@@ -128,7 +128,7 @@ class TestCampaign:
 
         def gated_send(t0, t1):
             if t0 >= 25.0:
-                return 0, 0.0
+                return 0, [0.0] * len(simulator._shards)
             return simulator._send_covert_orig(t0, t1)
 
         simulator._send_covert = gated_send

@@ -10,9 +10,11 @@ from repro.experiments.runner import main as runner_main
 class TestRunner:
     def test_experiment_registry_covers_design_index(self):
         # every experiment id from DESIGN.md §4 that has a runner entry,
-        # plus the PR-2 subtable-ranking ablation
+        # plus the subtable-ranking (E8) and multi-PMD sharding (E9)
+        # ablations
         assert set(EXPERIMENTS) == {
-            "fig2", "masks", "fig3", "degradation", "defenses", "ranking"
+            "fig2", "masks", "fig3", "degradation", "defenses", "ranking",
+            "sharding",
         }
 
     def test_run_single_experiment(self, capsys):

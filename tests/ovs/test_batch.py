@@ -14,6 +14,7 @@ from repro.net.addresses import ip_to_int
 from repro.net.ethernet import ETHERTYPE_IPV4
 from repro.net.ipv4 import PROTO_TCP
 from repro.flow.key import FlowKey
+from repro.ovs.switch import OvsSwitch
 from repro.perf.factory import switch_for_profile
 from repro.scenario.datapath import CachelessDatapath
 
@@ -102,6 +103,134 @@ class TestBatchEquivalence:
         batch = switch.process_batch([], now=1.0)
         assert len(batch) == 0
         assert switch.stats.packets == 0
+
+
+def _custom_switch(**kwargs):
+    switch = OvsSwitch(space=OVS_FIELDS, name="batch-eq", **kwargs)
+    policy, dimensions = kubernetes_attack_policy()
+    target = PolicyTarget(
+        pod_ip=ip_to_int("10.0.9.10"), output_port=42, tenant="mallory"
+    )
+    switch.add_rules(KubernetesCms().compile(policy, target, OVS_FIELDS))
+    return switch, dimensions
+
+
+class TestBatchEquivalenceMatrix:
+    """The bucketed batch pipeline must stay bit-identical to sequential
+    processing across every TSS configuration — including the ranked
+    pvector with mid-burst auto-re-sorts, the tuple reference path,
+    staged lookup, the naive 'hits' order, and an eviction-heavy tiny
+    EMC (the hardest case for deferred microflow inserts)."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scan_order": "ranked", "resort_interval": 7},
+            {"scan_order": "ranked", "resort_interval": 1},
+            {"scan_order": "hits"},
+            {"key_mode": "tuple"},
+            {"staged_lookup": True},
+            {"emc_entries": 8, "emc_ways": 1},
+            {"emc_entries": 8, "emc_ways": 2, "scan_order": "ranked",
+             "resort_interval": 5},
+        ],
+        ids=[
+            "ranked-resort7", "ranked-resort1", "hits-order", "tuple-keys",
+            "staged", "tiny-emc", "tiny-emc-ranked",
+        ],
+    )
+    def test_batch_equals_sequential(self, kwargs):
+        sequential, dimensions = _custom_switch(**kwargs)
+        batched, _ = _custom_switch(**kwargs)
+        keys = _traffic(dimensions)
+        # a hit-heavy tail lets the adaptive chunk window ramp up
+        keys = keys + keys[: len(keys) // 2]
+
+        per_packet = [sequential.process(key, now=1.0) for key in keys]
+        batch = batched.process_batch(keys, now=1.0)
+
+        assert [_result_fields(r) for r in per_packet] == [
+            _result_fields(r) for r in batch.results
+        ]
+        assert dataclasses.asdict(sequential.stats) == dataclasses.asdict(
+            batched.stats
+        )
+        assert sequential.mask_count == batched.mask_count
+        assert sequential.megaflow_count == batched.megaflow_count
+        seq_tss = sequential.megaflow.tss
+        bat_tss = batched.megaflow.tss
+        assert seq_tss.total_lookups == bat_tss.total_lookups
+        assert seq_tss.total_tuples_scanned == bat_tss.total_tuples_scanned
+        assert seq_tss.total_hash_probes == bat_tss.total_hash_probes
+        assert seq_tss.resorts == bat_tss.resorts
+        # the ranked pvector must have converged to the same order
+        assert [
+            s.masks for s in seq_tss.subtables()
+        ] == [s.masks for s in bat_tss.subtables()]
+        # and the microflow caches must hold the same population
+        assert sequential.microflow.occupancy == batched.microflow.occupancy
+
+    def test_process_is_the_single_key_special_case(self):
+        a, dimensions = _custom_switch()
+        b, _ = _custom_switch()
+        keys = _traffic(dimensions)[:32]
+        for key in keys:
+            one = a.process(key, now=1.0)
+            via_batch = b.process_batch([key], now=1.0)
+            assert len(via_batch) == 1
+            assert _result_fields(one) == _result_fields(via_batch.results[0])
+        assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
+
+
+class TestTssLookupBatch:
+    """The TSS-level burst lookup: prefix contract and accounting."""
+
+    def _tss_with_keys(self, **kwargs):
+        switch, dimensions = _custom_switch(**kwargs)
+        covert = CovertStreamGenerator(
+            dimensions, dst_ip=ip_to_int("10.0.9.10")
+        ).keys()[:24]
+        for key in covert:
+            switch.slow_path.handle(key, now=0.0)
+        return switch.megaflow.tss, covert
+
+    def test_all_hits_match_per_key_lookup(self):
+        tss, covert = self._tss_with_keys()
+        reference, _ = self._tss_with_keys()
+        batch_results = tss.lookup_batch(covert)
+        single_results = [reference.lookup(key) for key in covert]
+        assert len(batch_results) == len(covert)
+        assert [(r.hit, r.tuples_scanned, r.hash_probes) for r in batch_results] == [
+            (r.hit, r.tuples_scanned, r.hash_probes) for r in single_results
+        ]
+        assert tss.total_lookups == reference.total_lookups
+        assert tss.total_tuples_scanned == reference.total_tuples_scanned
+
+    def test_prefix_stops_at_first_miss(self):
+        tss, covert = self._tss_with_keys()
+        alien = FlowKey(OVS_FIELDS, {"ip_src": 1, "ip_dst": 2})
+        burst = covert[:3] + [alien] + covert[3:6]
+        results = tss.lookup_batch(burst)
+        # three hits plus the miss: keys after the miss are NOT consumed
+        assert len(results) == 4
+        assert [r.hit for r in results] == [True, True, True, False]
+        assert results[3].tuples_scanned == tss.mask_count
+        assert tss.total_lookups == 4
+
+    def test_ranked_burst_stops_at_resort_boundary(self):
+        tss, covert = self._tss_with_keys(
+            scan_order="ranked", resort_interval=5
+        )
+        assert tss.resorts == 0
+        results = tss.lookup_batch(covert)
+        # capped at the auto-re-sort, which fired on the 5th lookup
+        assert len(results) == 5
+        assert tss.resorts == 1
+        assert tss.lookup_batch(covert[5:]) is not None
+
+    def test_empty_burst(self):
+        tss, _covert = self._tss_with_keys()
+        assert tss.lookup_batch([]) == []
 
 
 class TestCachelessBatch:

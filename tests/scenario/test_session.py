@@ -112,11 +112,83 @@ class TestBackendsAndDefenses:
         assert result.degradation() > 0.9
 
 
+class TestShardedSessions:
+    def test_one_shard_series_is_bit_identical_to_ovs(self):
+        """The acceptance criterion: a shards=1 sharded-backend campaign
+        must reproduce the unsharded ovs backend's time series exactly —
+        every column, every tick."""
+        base = SCENARIOS.get("k8s").evolve(duration=25.0, attack_start=8.0)
+        plain = Session(base).run()
+        sharded = Session(base.evolve(backend="sharded", shards=1)).run()
+        assert sharded.series.columns == plain.series.columns
+        assert sharded.series.rows == plain.series.rows
+        assert sharded.final_mask_count() == plain.final_mask_count()
+        assert sharded.scan_stats() == plain.scan_stats()
+
+    def test_sharded_campaign_dilutes_the_naive_attack(self):
+        base = SCENARIOS.get("k8s").evolve(duration=30.0, attack_start=8.0)
+        plain = Session(base).run()
+        sharded = Session(base.evolve(backend="sharded", shards=4)).run()
+        shards = sharded.datapath.shards
+        assert len(shards) == 4
+        # the paper's stream scatters: no shard carries the full 512
+        assert sharded.final_mask_count() < 512
+        assert sharded.datapath.total_mask_count >= 512
+        # four cores + confined damage: the victim keeps more throughput
+        assert sharded.degradation() > plain.degradation()
+
+    def test_profile_default_shards_apply(self):
+        session = Session(ScenarioSpec(surface="k8s", profile="netdev-pmd4"))
+        datapath = session.build_datapath()
+        assert len(datapath.shards) == 4
+
+    def test_spec_shards_override_profile(self):
+        session = Session(
+            ScenarioSpec(surface="k8s", profile="netdev-pmd4", shards=2)
+        )
+        assert len(session.build_datapath().shards) == 2
+
+    def test_sharded_probe_measures_total_masks(self):
+        probe = Session(
+            ScenarioSpec(surface="k8s", backend="sharded", shards=4)
+        ).measure()
+        # masks scatter across shards but their sum matches the closed form
+        assert probe.measured == probe.predicted == 512
+        assert probe.datapath.mask_count < 512
+
+    def test_cacheless_rejects_shards(self):
+        spec = ScenarioSpec(surface="calico", backend="cacheless", shards=4)
+        with pytest.raises(ValueError):
+            Session(spec).build_datapath()
+
+    def test_detector_defense_works_per_shard(self):
+        spec = ScenarioSpec(
+            surface="k8s",
+            backend="sharded",
+            shards=2,
+            defenses=("detector",),
+            duration=40.0,
+            attack_start=8.0,
+        )
+        result = Session(spec).run()
+        # the detector observed each shard and evicted the tenant
+        assert result.final_mask_count() <= 8
+        assert "mallory" in result.defenses[0].tradeoff
+
+
 class TestCliScenario:
     def test_list(self, capsys):
         assert main(["scenario", "--list"]) == 0
         out = capsys.readouterr().out
         assert "fig3" in out and "cacheless" in out and "detector" in out
+        assert "sharded" in out and "--shards" in out
+
+    def test_shards_override(self, capsys):
+        assert main(
+            ["scenario", "k8s", "--backend", "sharded", "--shards", "2",
+             "--duration", "15", "--attack-start", "5"]
+        ) == 0
+        assert "masks=" in capsys.readouterr().out
 
     def test_run_named_scenario(self, capsys, tmp_path):
         assert (

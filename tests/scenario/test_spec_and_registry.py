@@ -64,8 +64,10 @@ class TestBuiltinRegistries:
         assert not SURFACES.get("fig2").is_campaign
 
     def test_profiles_and_backends(self):
-        assert PROFILES.names() == ["kernel", "netdev", "netdev-ranked"]
-        assert {"ovs", "ovs-tuple", "cacheless"} <= set(BACKENDS.names())
+        assert PROFILES.names() == [
+            "kernel", "netdev", "netdev-ranked", "netdev-pmd4"
+        ]
+        assert {"ovs", "ovs-tuple", "cacheless", "sharded"} <= set(BACKENDS.names())
 
     def test_defenses(self):
         assert {"none", "mask-limit", "rate-limit", "prefix-rounding", "detector"} <= set(
@@ -132,3 +134,18 @@ class TestScenarioSpec:
     def test_evolve(self):
         spec = ScenarioSpec(surface="calico").evolve(duration=5.0)
         assert spec.duration == 5.0 and spec.surface == "calico"
+
+    def test_shards_round_trip_and_default(self):
+        assert ScenarioSpec(surface="calico").shards == 0  # profile default
+        spec = ScenarioSpec(surface="calico", shards=4)
+        data = spec.to_dict()
+        assert data["shards"] == 4
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(surface="calico", shards=-1)
+
+    def test_pmd_profile_carries_a_shard_default(self):
+        assert PROFILES.get("netdev-pmd4").shards == 4
+        assert PROFILES.get("kernel").shards == 1
