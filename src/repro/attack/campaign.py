@@ -97,6 +97,7 @@ class AttackCampaign:
         self.cost_model = cost_model or CostModel()
         self.space = space
         self.noise = noise
+        self.seed = seed
         self.rng = DeterministicRng(seed)
         self.switch = switch or OvsSwitch(space=space, name="victim-node")
         self.target = PolicyTarget(
@@ -180,6 +181,7 @@ class AttackCampaign:
             duration=self.duration,
             noise=self.noise,
             rng=self.rng.fork("simulator"),
+            workload_seed=self.seed,
         )
 
     def run(self, extra_events=()) -> CampaignReport:

@@ -23,6 +23,7 @@ drops on arrival.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from itertools import product
 from typing import Callable, Iterator, Sequence
 
@@ -66,6 +67,76 @@ def covert_keys_for_dimensions(
             values[dim.field] = bit_flip(dim.allow_value, prefix_len - 1, dim.width)
         keys.append(FlowKey(space, values))
     return keys
+
+
+_M64 = (1 << 64) - 1
+
+
+def _mixed_probe(counter: int, width: int) -> int:
+    """A deterministic ``width``-bit probe pattern with every bit —
+    high-order bits included — varying from the very first counter.
+
+    A splitmix64 finalizer per 64-bit chunk: the enumeration order the
+    spread-key search uses once the cheap single-bit walk is done, so a
+    bounded budget samples the *whole* free-bit space instead of only
+    its low-order corner.
+    """
+    pattern = 0
+    offset = 0
+    chunk_index = 0
+    while offset < width:
+        x = (counter + (chunk_index << 32) + 0x9E3779B97F4A7C15) & _M64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+        x ^= x >> 31
+        pattern |= x << offset
+        offset += 64
+        chunk_index += 1
+    return pattern & ((1 << width) - 1)
+
+
+@dataclass
+class SpreadCoverage:
+    """Explicit shard-coverage accounting for a spread-key search.
+
+    :meth:`CovertStreamGenerator.spread_keys` historically dropped
+    shards *silently* when its per-combination search budget ran out —
+    indistinguishable from shards that are genuinely unreachable (no
+    free wildcarded-bit entropy left).  This report separates the two:
+    ``missed`` lists every (combination, shard) gap, and
+    ``budget_exhausted`` counts the combinations abandoned with free
+    entropy still unexplored.
+    """
+
+    #: one steered variant per reached (combination, shard) pair, in
+    #: combination order then shard order — what ``spread_keys`` returns
+    keys: list[FlowKey] = field(default_factory=list)
+    #: the combination index each key belongs to (parallel to ``keys``)
+    combo_of: list[int] = field(default_factory=list)
+    shards: int = 0
+    combos: int = 0
+    #: combination index -> shards no variant was found for
+    missed: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    #: combinations abandoned with unexplored free-bit entropy left
+    #: (raise ``max_tries_per_shard`` to search further); the remaining
+    #: ``missed`` entries are genuinely unreachable
+    budget_exhausted: int = 0
+
+    @property
+    def reached_pairs(self) -> int:
+        return self.combos * self.shards - sum(
+            len(gaps) for gaps in self.missed.values()
+        )
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of (combination, shard) pairs a variant reaches."""
+        total = self.combos * self.shards
+        return self.reached_pairs / total if total else 1.0
+
+    @property
+    def complete(self) -> bool:
+        return not self.missed
 
 
 class CovertStreamGenerator:
@@ -141,18 +212,52 @@ class CovertStreamGenerator:
         bandwidth.
 
         Combinations without enough free entropy (witnesses at full
-        depth) stay confined to wherever their single key hashes —
-        unreachable shards are simply skipped.  Deterministic given the
-        dispatcher: no randomness involved.
+        depth) stay confined to wherever their single key hashes.
+        Deterministic given the dispatcher: no randomness involved.
+        Coverage is explicit: this is
+        ``spread_coverage(...).keys`` — call :meth:`spread_coverage`
+        directly for the per-combination reached-shard report.
+        """
+        return self.spread_coverage(
+            shards, shard_of, max_tries_per_shard=max_tries_per_shard
+        ).keys
+
+    def spread_coverage(
+        self,
+        shards: int,
+        shard_of: Callable[[FlowKey], int],
+        max_tries_per_shard: int = 32,
+    ) -> SpreadCoverage:
+        """The hash-aware search with explicit per-combination coverage.
+
+        Per combination the search probes the free wildcarded bits in
+        three deterministic stages, all within a
+        ``max_tries_per_shard * shards`` budget:
+
+        1. the base key itself (no bits flipped);
+        2. every single free bit, **highest-order first** — so the
+           search exercises the whole free-bit space before giving up,
+           instead of counting through its low-order corner;
+        3. splitmix-mixed patterns (:func:`_mixed_probe`) that vary
+           every free bit at once.
+
+        A combination that ends with unreached shards *and* unexplored
+        entropy is counted in ``budget_exhausted``; one whose entire
+        free space was enumerated is genuinely unreachable.  The old
+        low-order counter walk could exhaust its budget on wide free
+        spaces while whole shards hid behind untouched high bits — and
+        reported nothing.
         """
         if shards < 1:
             raise ValueError("shards must be >= 1")
         base = dict(self.pinned_fields())
         for dim in self.dimensions:
             base.setdefault(dim.field, dim.allow_value)
-        keys: list[FlowKey] = []
+        report = SpreadCoverage(shards=shards)
         ranges = [range(1, dim.prefix_len + 1) for dim in self.dimensions]
-        for combo in product(*ranges):
+        budget = max(max_tries_per_shard, 1) * shards
+        for combo_index, combo in enumerate(product(*ranges)):
+            report.combos += 1
             values = dict(base)
             free: list[tuple[str, int]] = []
             for dim, prefix_len in zip(self.dimensions, combo):
@@ -164,14 +269,27 @@ class CovertStreamGenerator:
                 free.append((dim.field, dim.width - prefix_len))
             total_free = sum(bits for _field, bits in free)
             if shards == 1 or total_free == 0:
-                keys.append(FlowKey(self.space, values))
+                key = FlowKey(self.space, values)
+                report.keys.append(key)
+                report.combo_of.append(combo_index)
+                if shards > 1:
+                    reached = shard_of(key)
+                    report.missed[combo_index] = tuple(
+                        s for s in range(shards) if s != reached
+                    )
                 continue
+            space_size = 1 << total_free
+            exhaustive = space_size <= budget
             wanted = set(range(shards))
             found: dict[int, FlowKey] = {}
-            limit = min(1 << min(total_free, 62), max_tries_per_shard * shards)
-            for counter in range(limit):
+            tried: set[int] = set()
+            probes = self._probe_patterns(total_free, budget, exhaustive)
+            for pattern in probes:
+                if pattern in tried:
+                    continue
+                tried.add(pattern)
                 variant = dict(values)
-                cursor = counter
+                cursor = pattern
                 for field_name, bits in free:
                     if not bits:
                         continue
@@ -186,8 +304,37 @@ class CovertStreamGenerator:
                     found[shard] = key
                     if not wanted:
                         break
-            keys.extend(found[shard] for shard in sorted(found))
-        return keys
+            for shard in sorted(found):
+                report.keys.append(found[shard])
+                report.combo_of.append(combo_index)
+            if wanted:
+                report.missed[combo_index] = tuple(sorted(wanted))
+                if not exhaustive and len(tried) < space_size:
+                    report.budget_exhausted += 1
+        return report
+
+    @staticmethod
+    def _probe_patterns(total_free: int, budget: int,
+                        exhaustive: bool) -> Iterator[int]:
+        """The deterministic probe order over a free-bit space: base
+        key, single bits highest-first, then mixed full-width patterns
+        (or plain exhaustive enumeration when the space fits the
+        budget)."""
+        if exhaustive:
+            yield from range(1 << total_free)
+            return
+        yield 0
+        emitted = 1
+        for bit in range(total_free - 1, -1, -1):
+            if emitted >= budget:
+                return
+            yield 1 << bit
+            emitted += 1
+        counter = 0
+        while emitted < budget:
+            yield _mixed_probe(counter, total_free)
+            counter += 1
+            emitted += 1
 
     def packet_for_key(self, key: FlowKey) -> Layer:
         """Craft the real on-the-wire packet realising one flow key."""

@@ -100,6 +100,8 @@ def _print_scenario_list() -> None:
     print("scan orders: " + ", ".join(SCAN_ORDERS) + " (--scan-order)")
     print("key modes:   " + ", ".join(KEY_MODES) + " (--key-mode)")
     print("shards:      any N >= 1 (--shards; RSS-dispatched PMD shards)")
+    print("rebalance:   --rebalance-interval SECONDS (0 = static RSS), "
+          "--reta-size BUCKETS, --workload-skew ZIPF (elephant flows)")
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
@@ -115,7 +117,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc))
     overrides = {}
     for field_name in ("duration", "attack_start", "seed", "profile", "backend",
-                       "scan_order", "key_mode", "shards"):
+                       "scan_order", "key_mode", "shards", "reta_size",
+                       "rebalance_interval", "workload_skew"):
         value = getattr(args, field_name)
         if value is not None:
             overrides[field_name] = value
@@ -192,6 +195,19 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--shards", type=int, default=None,
                           help="PMD shard count (RSS-dispatched classifier "
                           "instances; default: the profile's)")
+    scenario.add_argument("--reta-size", type=int, default=None,
+                          dest="reta_size",
+                          help="RSS indirection-table buckets (rounded up to "
+                          "a multiple of the shard count; default: the "
+                          "profile's, 128)")
+    scenario.add_argument("--rebalance-interval", type=float, default=None,
+                          dest="rebalance_interval",
+                          help="PMD auto-load-balance interval in seconds "
+                          "(0 = static RSS; default: the profile's)")
+    scenario.add_argument("--workload-skew", type=float, default=None,
+                          dest="workload_skew",
+                          help="Zipf skew of the victim's per-bucket load "
+                          "(0 = uniform, ~1 = elephant flows)")
     scenario.add_argument("--defense", action="append", default=None,
                           metavar="NAME", help="activate a defense (repeatable)")
     scenario.add_argument("--csv", type=Path, default=None, metavar="DIR",

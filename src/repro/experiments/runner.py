@@ -25,6 +25,7 @@ from repro.experiments import (
     fig3,
     masks,
     ranking,
+    rebalance,
     sharding,
 )
 
@@ -88,6 +89,15 @@ def run_sharding_experiment(csv_dir: Path | None) -> str:
     return sharding.render(rows)
 
 
+def run_rebalance_experiment(csv_dir: Path | None) -> str:
+    report = rebalance.run_rebalance_ablation()
+    if csv_dir is not None:
+        (csv_dir / "rebalance.csv").write_text(
+            "\n".join(rebalance.to_csv_rows(report)) + "\n"
+        )
+    return rebalance.render(report)
+
+
 EXPERIMENTS = {
     "fig2": ("E1: Fig. 2b megaflow table", run_fig2_experiment),
     "masks": ("E2/E3: in-text mask counts", run_masks_experiment),
@@ -96,6 +106,7 @@ EXPERIMENTS = {
     "defenses": ("E7: mitigation ablation", run_defenses_experiment),
     "ranking": ("E8: subtable-ranking ablation", run_ranking_experiment),
     "sharding": ("E9: multi-PMD sharding ablation", run_sharding_experiment),
+    "rebalance": ("E10: RETA rebalancing ablation", run_rebalance_experiment),
 }
 
 

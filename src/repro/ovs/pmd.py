@@ -10,12 +10,32 @@ hash to, or poisons every shard, is a question about *this* structure.
 
 :class:`ShardedDatapath` models it: N independent
 :class:`~repro.ovs.switch.OvsSwitch` shards behind an RSS-style
-dispatcher.  Packets are dispatched by a deterministic hash of the
-packed 5-tuple, slow-path rule management is broadcast to every shard
-(every PMD consults the same OpenFlow tables), and the observables are
-aggregated — ``mask_count`` reports the *max per shard* (the scan
-bound a packet actually meets), ``total_mask_count`` the sum, and
-``stats`` a :meth:`~repro.ovs.stats.SwitchStats.merge` of the shards.
+dispatcher.  Packets are dispatched NIC-style through an **RSS
+indirection table** (RETA): the deterministic hash of the packed
+5-tuple selects one of ``reta_size`` buckets, and the table maps each
+bucket to a PMD shard.  Slow-path rule management is broadcast to
+every shard (every PMD consults the same OpenFlow tables), and the
+observables are aggregated — ``mask_count`` reports the *max per
+shard* (the scan bound a packet actually meets), ``total_mask_count``
+the sum, and ``stats`` a :meth:`~repro.ovs.stats.SwitchStats.merge` of
+the shards.
+
+The RETA is what makes PMD load balancing possible: benign traffic is
+heavy-tailed (elephant flows, skewed prefixes), so a static hash→shard
+map leaves some PMDs overloaded while others idle.  The
+:class:`PmdRebalancer` mirrors OVS's PMD auto-load-balancer: it
+periodically reads per-bucket load (lookup- and scan-depth-weighted
+cycles, accumulated by the dispatcher) and greedily remaps buckets
+from the hottest PMD to the coolest.  With ``rebalance_interval=0``
+(the default) the table never moves and dispatch is bit-identical to
+the pre-RETA ``rss_hash(key) % shards`` arithmetic — ``reta_size`` is
+rounded up to a multiple of the shard count precisely so the identity
+table preserves that equivalence for every shard count.
+
+Rebalancing doubles as a moving target against the hash-aware
+``spread_keys`` attacker, whose variants are steered against a
+*snapshot* of the dispatcher: every remap strands the carefully-placed
+variants on wrong shards until the attacker re-probes.
 
 Attack-relevant consequence: a covert flow only pollutes the shard it
 hashes to.  A naive attacker's masks land wherever RSS scatters them
@@ -49,6 +69,25 @@ _MASK64 = (1 << 64) - 1
 #: the fields RSS hashes, when present in the space (the classic NIC
 #: 5-tuple; fields outside it — MACs, ports-of-entry — don't steer)
 RSS_FIELDS = ("ip_src", "ip_dst", "ip_proto", "tp_src", "tp_dst")
+
+#: default RSS indirection-table size (NICs ship 64–512 bucket RETAs)
+DEFAULT_RETA_SIZE = 128
+
+
+def effective_reta_size(requested: int, shards: int) -> int:
+    """Round a requested RETA size up to a multiple of the shard count.
+
+    With ``shards | reta_size`` the identity table (bucket ``b`` →
+    shard ``b % shards``) dispatches *exactly* like the pre-RETA
+    ``rss_hash(key) % shards`` arithmetic — ``(h mod R) mod s ==
+    h mod s`` whenever ``s`` divides ``R`` — which is the hard
+    equivalence contract of the disabled-rebalance configuration.
+    """
+    if requested < 1:
+        raise ValueError(f"reta_size must be >= 1, got {requested}")
+    size = max(requested, shards)
+    remainder = size % shards
+    return size if remainder == 0 else size + (shards - remainder)
 
 
 def rss_hash(value: int) -> int:
@@ -114,9 +153,16 @@ class ShardedDatapath:
         shards: int = 1,
         name: str = "pmd",
         rss_fields: Sequence[str] | None = None,
+        reta_size: int = DEFAULT_RETA_SIZE,
+        rebalance_interval: float = 0.0,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
+        if rebalance_interval < 0:
+            raise ValueError(
+                f"rebalance_interval must be >= 0 (0 disables), "
+                f"got {rebalance_interval}"
+            )
         self.name = name
         self.space = space
         self.shards: list[OvsSwitch] = [shard_factory(i) for i in range(shards)]
@@ -132,19 +178,54 @@ class ShardedDatapath:
             )
         ) if fields else 0
         self.rss_fields = fields
+        #: the RSS indirection table: bucket -> shard index.  Starts as
+        #: the identity spread (bucket % shards), which dispatches
+        #: exactly like ``rss_hash(key) % shards`` (see
+        #: :func:`effective_reta_size`); the rebalancer remaps entries.
+        self.reta_size = effective_reta_size(reta_size, shards)
+        self.reta: list[int] = [b % shards for b in range(self.reta_size)]
+        # per-bucket load window (reset on every rebalance pass):
+        # packets dispatched, TSS subtables they scanned, and external
+        # cycle charges (the simulator's cost-model view of the same
+        # traffic).  Pure counters — accounting never changes dispatch.
+        self.bucket_packets: list[int] = [0] * self.reta_size
+        self.bucket_tuples: list[int] = [0] * self.reta_size
+        self.bucket_cycles: list[float] = [0.0] * self.reta_size
+        self.rebalancer = PmdRebalancer(self, interval=rebalance_interval)
+        #: monotonic wrapper clock (max ``now`` seen), feeding the
+        #: rebalancer's interval check the same way the per-shard
+        #: clocks feed their revalidators
+        self.clock = 0.0
 
     # -- dispatch ----------------------------------------------------------
 
+    def _advance(self, now: float | None) -> float:
+        if now is not None and now > self.clock:
+            self.clock = now
+        return self.clock
+
+    def bucket_of(self, key: FlowKey) -> int:
+        """The RETA bucket ``key``'s packets hash to (stable across
+        rebalances: only the bucket→shard map moves, never the hash)."""
+        return rss_hash(key.packed & self._rss_mask) % self.reta_size
+
     def shard_of(self, key: FlowKey) -> int:
-        """The shard index ``key``'s packets are steered to."""
+        """The shard index ``key``'s packets are steered to, under the
+        *current* indirection table."""
         if len(self.shards) == 1:
             return 0
-        return rss_hash(key.packed & self._rss_mask) % len(self.shards)
+        return self.reta[self.bucket_of(key)]
 
     def shard_for(self, key: FlowKey) -> OvsSwitch:
         """The shard switch serving ``key`` (the simulator's per-flow
         cost view)."""
         return self.shards[self.shard_of(key)]
+
+    def record_bucket_cycles(self, bucket: int, cycles: float) -> None:
+        """Charge externally-modelled cycles (the simulator's cost-model
+        view of traffic it does not replay packet-by-packet) to one RETA
+        bucket's load window."""
+        self.bucket_cycles[bucket] += cycles
 
     # -- datapath ----------------------------------------------------------
 
@@ -157,11 +238,19 @@ class ShardedDatapath:
             key_or_packet = flow_key_from_packet(
                 key_or_packet, in_port=in_port, space=self.space
             )
-        return self.shard_for(key_or_packet).process(key_or_packet, now=now)
+        if len(self.shards) == 1:
+            return self.shards[0].process(key_or_packet, now=now)
+        self._advance(now)
+        bucket = self.bucket_of(key_or_packet)
+        result = self.shards[self.reta[bucket]].process(key_or_packet, now=now)
+        self.bucket_packets[bucket] += 1
+        self.bucket_tuples[bucket] += result.tuples_scanned
+        self.rebalancer.maybe_rebalance(self.clock)
+        return result
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
                       now: float | None = None) -> BatchResult:
-        """Dispatch a burst: bucket keys by RSS shard (keeping each
+        """Dispatch a burst: bucket keys by RETA shard (keeping each
         shard's sub-burst in arrival order, as a NIC queue would), run
         one :meth:`OvsSwitch.process_batch` per shard, and reassemble
         results in input order.  Shards share no state, so this is
@@ -169,29 +258,45 @@ class ShardedDatapath:
         shards = self.shards
         if len(shards) == 1:
             return shards[0].process_batch(keys, now=now)
+        self._advance(now)
         keys = list(keys)
-        buckets: dict[int, list[int]] = {}
-        for position, key in enumerate(keys):
-            buckets.setdefault(self.shard_of(key), []).append(position)
+        key_buckets = [self.bucket_of(key) for key in keys]
+        by_shard: dict[int, list[int]] = {}
+        for position, bucket in enumerate(key_buckets):
+            by_shard.setdefault(self.reta[bucket], []).append(position)
         slots: list[PacketResult | None] = [None] * len(keys)
-        for shard, positions in buckets.items():
+        for shard, positions in by_shard.items():
             sub = shards[shard].process_batch(
                 [keys[p] for p in positions], now=now
             )
             for position, result in zip(positions, sub.results):
                 slots[position] = result
         batch = BatchResult()
-        for result in slots:
+        bucket_packets, bucket_tuples = self.bucket_packets, self.bucket_tuples
+        for bucket, result in zip(key_buckets, slots):
             assert result is not None
             batch.add(result)
+            bucket_packets[bucket] += 1
+            bucket_tuples[bucket] += result.tuples_scanned
+        self.rebalancer.maybe_rebalance(self.clock)
         return batch
 
     def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
-        return self.shard_for(key).handle_miss(key, now)
+        # the known-miss replay shortcut deliberately skips bucket load
+        # accounting: its callers (the simulator, install harnesses)
+        # model the packet's cost themselves and charge it via
+        # :meth:`record_bucket_cycles` — counting it here too would
+        # double-bill the bucket
+        if len(self.shards) == 1:
+            return self.shards[0].handle_miss(key, now)
+        self._advance(now)
+        return self.shards[self.shard_of(key)].handle_miss(key, now)
 
     def advance_clock(self, now: float) -> None:
+        self._advance(now)
         for shard in self.shards:
             shard.advance_clock(now)
+        self.rebalancer.maybe_rebalance(self.clock)
 
     # -- slow-path rule management (broadcast) ------------------------------
 
@@ -262,16 +367,36 @@ class ShardedDatapath:
     def key_mode(self) -> str:
         return self.shards[0].key_mode
 
+    @property
+    def tss_lookups(self) -> int:
+        """TSS lookups served across all shards (the datapath-surface
+        counter — no reaching into shard cache internals)."""
+        return sum(shard.tss_lookups for shard in self.shards)
+
     def expected_scan_depth(self) -> float:
         """Lookup-weighted mean of the per-shard expected scan depths
         (shards that serve more TSS lookups weigh more; with no history
-        the shards average evenly)."""
+        the shards average evenly).  Weighting reads each shard's
+        ``tss_lookups`` protocol counter, so any datapath — not just
+        :class:`OvsSwitch` — can serve as a shard."""
         depths = [shard.expected_scan_depth() for shard in self.shards]
-        weights = [shard.megaflow.tss.total_lookups for shard in self.shards]
+        weights = [shard.tss_lookups for shard in self.shards]
         total = sum(weights)
         if not total:
             return sum(depths) / len(depths)
         return sum(d * w for d, w in zip(depths, weights)) / total
+
+    # -- load accounting (the rebalancer's view) ----------------------------
+
+    def bucket_loads(self) -> list[float]:
+        """Cycle-weighted load per RETA bucket over the current window
+        (see :meth:`PmdRebalancer.bucket_loads`)."""
+        return self.rebalancer.bucket_loads()
+
+    def shard_loads(self) -> list[float]:
+        """Per-shard load: each bucket's window load summed onto the
+        shard the *current* RETA maps it to."""
+        return self.rebalancer.shard_loads()
 
     @property
     def rule_count(self) -> int:
@@ -284,6 +409,145 @@ class ShardedDatapath:
     def __repr__(self) -> str:
         return (
             f"ShardedDatapath({self.name}: {len(self.shards)} shards, "
+            f"reta={self.reta_size}, "
             f"masks/shard={self.shard_mask_counts}, "
             f"{self.megaflow_count} megaflows)"
         )
+
+
+class PmdRebalancer:
+    """OVS-style PMD auto-load-balancing over the RETA.
+
+    Periodically (every ``interval`` simulated seconds, aligned to the
+    interval grid like :meth:`~repro.ovs.revalidator.Revalidator.
+    maybe_sweep`) reads the per-bucket load window the dispatcher
+    accumulated and greedily remaps buckets from the hottest PMD to the
+    coolest until the hottest sits within ``min_imbalance`` of the mean
+    — the greedy variant of ovs-vswitchd's ``pmd-auto-lb`` variance
+    improvement.  ``interval=0`` (or one shard) disables rebalancing
+    entirely: the RETA never moves and dispatch stays bit-identical to
+    plain ``rss_hash % shards``.
+
+    Bucket load over a window is lookup- and scan-depth-weighted:
+    ``packets·cycles_base + tuples_scanned·cycles_probe`` from the
+    traffic the dispatcher really processed, plus any cycles the
+    simulator charged via
+    :meth:`ShardedDatapath.record_bucket_cycles` for traffic it models
+    analytically.  The defaults mirror
+    :class:`~repro.perf.costmodel.CostModel`'s calibration.
+    """
+
+    def __init__(
+        self,
+        datapath: ShardedDatapath,
+        interval: float = 0.0,
+        cycles_base: float | None = None,
+        cycles_probe: float | None = None,
+        min_imbalance: float = 1.05,
+    ) -> None:
+        # late import: repro.perf.__init__ pulls in the factory, which
+        # imports this module — the calibration constants themselves
+        # are dependency-free
+        from repro.perf.costmodel import (
+            DEFAULT_CYCLES_MEGAFLOW_BASE,
+            DEFAULT_CYCLES_TUPLE_PROBE,
+        )
+
+        self.datapath = datapath
+        self.interval = interval
+        self.cycles_base = (
+            DEFAULT_CYCLES_MEGAFLOW_BASE if cycles_base is None else cycles_base
+        )
+        self.cycles_probe = (
+            DEFAULT_CYCLES_TUPLE_PROBE if cycles_probe is None else cycles_probe
+        )
+        self.min_imbalance = min_imbalance
+        self.last_rebalance = 0.0
+        #: rebalance passes run (whether or not they moved anything)
+        self.rebalances = 0
+        #: buckets remapped across all passes
+        self.buckets_moved = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval > 0 and len(self.datapath.shards) > 1
+
+    def bucket_loads(self) -> list[float]:
+        dp = self.datapath
+        base, probe = self.cycles_base, self.cycles_probe
+        return [
+            packets * base + tuples * probe + cycles
+            for packets, tuples, cycles in zip(
+                dp.bucket_packets, dp.bucket_tuples, dp.bucket_cycles
+            )
+        ]
+
+    def shard_loads(self, loads: Sequence[float] | None = None) -> list[float]:
+        dp = self.datapath
+        if loads is None:
+            loads = self.bucket_loads()
+        per_shard = [0.0] * len(dp.shards)
+        for bucket, shard in enumerate(dp.reta):
+            per_shard[shard] += loads[bucket]
+        return per_shard
+
+    def maybe_rebalance(self, now: float) -> int:
+        """Run a rebalance pass if the interval has elapsed; returns
+        buckets moved.  ``last_rebalance`` is aligned to the interval
+        grid so cadence follows simulated time, not call pattern."""
+        if not self.enabled:
+            return 0
+        elapsed = now - self.last_rebalance
+        if elapsed < self.interval:
+            return 0
+        self.last_rebalance += int(elapsed // self.interval) * self.interval
+        return self.rebalance()
+
+    def rebalance(self) -> int:
+        """One greedy pass: move the best-fitting bucket from the
+        hottest shard to the coolest until balanced (or out of moves),
+        then reset the load window.  Returns buckets moved."""
+        dp = self.datapath
+        loads = self.bucket_loads()
+        per_shard = self.shard_loads(loads)
+        n_shards = len(per_shard)
+        total = sum(per_shard)
+        moved = 0
+        self.rebalances += 1
+        if total > 0 and n_shards > 1:
+            mean = total / n_shards
+            for _ in range(dp.reta_size):
+                hot = max(range(n_shards), key=per_shard.__getitem__)
+                cool = min(range(n_shards), key=per_shard.__getitem__)
+                gap = per_shard[hot] - per_shard[cool]
+                if per_shard[hot] <= self.min_imbalance * mean or gap <= 0:
+                    break
+                # the best move: the most-loaded bucket that does not
+                # overshoot the midpoint; failing that, the lightest
+                # loaded bucket, provided moving it still narrows the gap
+                best = -1
+                best_load = -1.0
+                lightest = -1
+                lightest_load = float("inf")
+                for bucket, shard in enumerate(dp.reta):
+                    if shard != hot or loads[bucket] <= 0:
+                        continue
+                    load = loads[bucket]
+                    if load <= gap / 2 and load > best_load:
+                        best, best_load = bucket, load
+                    if load < lightest_load:
+                        lightest, lightest_load = bucket, load
+                if best < 0:
+                    if lightest < 0 or lightest_load >= gap:
+                        break
+                    best, best_load = lightest, lightest_load
+                dp.reta[best] = cool
+                per_shard[hot] -= best_load
+                per_shard[cool] += best_load
+                moved += 1
+        self.buckets_moved += moved
+        # fresh window: the next pass measures post-remap load only
+        dp.bucket_packets = [0] * dp.reta_size
+        dp.bucket_tuples = [0] * dp.reta_size
+        dp.bucket_cycles = [0.0] * dp.reta_size
+        return moved

@@ -41,10 +41,25 @@ class Revalidator:
         self.evicted_total = 0
 
     def maybe_sweep(self, now: float) -> int:
-        """Run a sweep if the interval has elapsed; returns evictions."""
-        if now - self.last_sweep < self.sweep_interval:
+        """Run a sweep if the interval has elapsed; returns evictions.
+
+        ``last_sweep`` is aligned to the sweep-interval grid rather than
+        set to ``now``: a long idle gap still yields one (catch-up)
+        sweep, but the *cadence* — the sweep count over a span of
+        simulated time, and with it the ranked ``resort_every``
+        re-sort rhythm — depends only on simulated time, never on when
+        callers happened to check.  (An off-grid ``now`` would otherwise
+        phase-shift every subsequent sweep.)
+        """
+        elapsed = now - self.last_sweep
+        if elapsed < self.sweep_interval:
             return 0
-        return self.sweep(now)
+        grid_origin = self.last_sweep
+        evicted = self.sweep(now)
+        self.last_sweep = (
+            grid_origin + int(elapsed // self.sweep_interval) * self.sweep_interval
+        )
+        return evicted
 
     def sweep(self, now: float) -> int:
         """Unconditionally evict idle megaflows (and clean the EMC)."""

@@ -376,6 +376,14 @@ class OvsSwitch:
         """The TSS hash-key representation (packed / tuple)."""
         return self.megaflow.tss.key_mode
 
+    @property
+    def tss_lookups(self) -> int:
+        """TSS lookups served (megaflow hits plus miss scans) — the
+        datapath-surface counter load accounting and scan-depth
+        weighting read, so callers never reach into
+        ``megaflow.tss`` internals."""
+        return self.megaflow.tss.total_lookups
+
     def expected_scan_depth(self) -> float:
         """Expected subtables visited per megaflow hit under the current
         scan order and hit distribution (see

@@ -38,6 +38,14 @@ class DatapathProfile:
     #: forwarding shards (PMD threads, one classifier instance each);
     #: 1 = the single-datapath setting the paper measures
     shards: int = 1
+    #: RSS indirection-table buckets on sharded datapaths (rounded up
+    #: to a multiple of the shard count; NICs ship 64–512 bucket RETAs)
+    reta_size: int = 128
+    #: PMD auto-load-balance interval in seconds — how often the
+    #: rebalancer remaps RETA buckets from the hottest PMD to the
+    #: coolest; 0 disables (the static-RSS setting, bit-identical to a
+    #: RETA that never moves)
+    rebalance_interval: float = 0.0
 
 
 #: the kernel datapath (what a Kubernetes node uses — Fig. 3's setting):
@@ -63,6 +71,15 @@ NETDEV_PROFILE = DatapathProfile(
 )
 
 
+#: the calibrated megaflow-path base / per-probe cycle constants, as
+#: importable module values — the PMD rebalancer's load weighting and
+#: :meth:`~repro.ovs.stats.SwitchStats.scan_weighted_load` default to
+#: these same numbers, so recalibrating here keeps every load view on
+#: one scale
+DEFAULT_CYCLES_MEGAFLOW_BASE = 3400.0
+DEFAULT_CYCLES_TUPLE_PROBE = 130.0
+
+
 @dataclass(frozen=True)
 class CostModel:
     """Cycle costs per pipeline path plus the node's cycle budget."""
@@ -72,9 +89,9 @@ class CostModel:
     #: exact-match (microflow) cache hit
     cycles_emc_hit: float = 300.0
     #: megaflow-path base: extraction, EMC miss, action execution
-    cycles_megaflow_base: float = 3400.0
+    cycles_megaflow_base: float = DEFAULT_CYCLES_MEGAFLOW_BASE
     #: one TSS subtable probe (hash + masked compare)
-    cycles_tuple_probe: float = 130.0
+    cycles_tuple_probe: float = DEFAULT_CYCLES_TUPLE_PROBE
     #: one *staged* probe (cheaper: incremental hash over one stage)
     cycles_staged_probe: float = 55.0
     #: slow-path upcall round trip (netlink, classification overhead)

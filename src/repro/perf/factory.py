@@ -29,12 +29,19 @@ NETDEV_RANKED_PROFILE = replace(
 #: NIC's RSS spread, each with its own EMC, pvector and revalidator view
 NETDEV_PMD4_PROFILE = replace(NETDEV_PROFILE, name="netdev-pmd4", shards=4)
 
+#: the 4-PMD datapath with auto-load-balancing on (OVS's pmd-auto-lb):
+#: every 5 s the rebalancer remaps RETA buckets hottest-PMD → coolest
+NETDEV_PMD4_ALB_PROFILE = replace(
+    NETDEV_PMD4_PROFILE, name="netdev-pmd4-alb", rebalance_interval=5.0
+)
+
 #: the datapath-profile registry (string-keyed, scenario-addressable)
 PROFILES: Registry[DatapathProfile] = Registry("datapath profile")
 PROFILES.register("kernel", KERNEL_PROFILE)
 PROFILES.register("netdev", NETDEV_PROFILE)
 PROFILES.register("netdev-ranked", NETDEV_RANKED_PROFILE)
 PROFILES.register("netdev-pmd4", NETDEV_PMD4_PROFILE)
+PROFILES.register("netdev-pmd4-alb", NETDEV_PMD4_ALB_PROFILE)
 
 
 def profile_by_name(name: str) -> DatapathProfile:
@@ -86,12 +93,16 @@ def sharded_switch_for_profile(
     seed: int = 0,
     scan_order: str | None = None,
     key_mode: str = "packed",
+    reta_size: int = 0,
+    rebalance_interval: float | None = None,
 ) -> ShardedDatapath:
     """A multi-PMD datapath: ``shards`` independent per-profile switches
-    behind the RSS dispatcher (``shards=0`` takes the profile's own
-    shard count).  Shard ``i``'s RNG seed derives deterministically from
-    the base seed via :func:`~repro.ovs.pmd.shard_seed` — shard 0 keeps
-    the base seed, so a one-shard datapath is bit-identical to
+    behind the RETA dispatcher (``shards=0`` takes the profile's own
+    shard count; ``reta_size=0`` and ``rebalance_interval=None`` take
+    the profile's RETA size and auto-lb cadence).  Shard ``i``'s RNG
+    seed derives deterministically from the base seed via
+    :func:`~repro.ovs.pmd.shard_seed` — shard 0 keeps the base seed, so
+    a one-shard datapath is bit-identical to
     :func:`switch_for_profile` with the same arguments."""
     if isinstance(profile, str):
         profile = profile_by_name(profile)
@@ -101,6 +112,12 @@ def sharded_switch_for_profile(
         space=space,
         shards=shards,
         name=base,
+        reta_size=reta_size or profile.reta_size,
+        rebalance_interval=(
+            profile.rebalance_interval
+            if rebalance_interval is None
+            else rebalance_interval
+        ),
         shard_factory=lambda i: switch_for_profile(
             profile,
             space=space,

@@ -101,6 +101,7 @@ class DataplaneSimulator:
         dt: float = 1.0,
         noise: float = 0.0,
         rng: DeterministicRng | None = None,
+        workload_seed: int = 0,
     ) -> None:
         if attacker is not None and not covert_keys:
             raise ValueError("an attacker workload needs covert_keys")
@@ -117,20 +118,37 @@ class DataplaneSimulator:
         self.dt = dt
         self.noise = noise
         self.rng = rng or DeterministicRng(7)
-        # covert stream cursor and key -> live entry map (refresh fast path)
+        # covert stream cursor and (shard, key) -> live entry map: the
+        # refresh fast path is per PMD shard, because a RETA rebalance
+        # can move a covert flow to a shard that has never seen it —
+        # the moved flow then re-installs there while its old shard's
+        # megaflow idles out (the "stranding" effect of auto-lb)
         self._covert_cursor = 0
-        self._attacker_entries: dict[FlowKey, MegaflowEntry] = {}
+        self._attacker_entries: dict[tuple[int, FlowKey], MegaflowEntry] = {}
         self._victim_entries: dict[FlowKey, MegaflowEntry] = {}
         # the per-PMD shard views: a sharded datapath exposes its shards
         # (each with its own mask set, caches and clocks); an unsharded
         # one is its own single shard.  Attacker damage is charged to the
-        # shard a covert flow RSS-hashes to, and victim capacity is
-        # evaluated per shard — with one shard both reduce exactly to the
-        # single-datapath arithmetic.
+        # shard a covert flow RSS-hashes to *under the current RETA*,
+        # and victim capacity is evaluated per shard — with one shard
+        # both reduce exactly to the single-datapath arithmetic.
         self._shards: list = shard_views(switch)
         self._shard_of: Callable[[FlowKey], int] = getattr(
             switch, "shard_of", lambda _key: 0
         )
+        # RETA-aware plumbing: the datapath when it dispatches through
+        # an indirection table, and the victim's per-bucket load weights
+        # (None = uniform; only skewed workloads need the Zipf profile)
+        self._reta_dp = switch if getattr(switch, "reta", None) is not None else None
+        self._seen_rebalances = 0
+        self._bucket_weights: list[float] | None = None
+        if self._reta_dp is not None and victim.skew > 0:
+            # workload_seed is the raw scenario seed (never a forked
+            # child seed, which is process-salted): the skewed bucket
+            # permutation reproduces across processes
+            self._bucket_weights = victim.bucket_weights(
+                len(self._reta_dp.reta), seed=workload_seed
+            )
 
     # -- helpers -------------------------------------------------------------
 
@@ -215,25 +233,38 @@ class DataplaneSimulator:
             if ranked
             else []
         )
+        # feed the rebalancer's per-bucket load window with the same
+        # cost-model cycles we charge the shard (attack load is load)
+        reta_dp = self._reta_dp
+        multi = reta_dp is not None and len(self._shards) > 1
+        charge_buckets = multi and reta_dp.rebalancer.enabled
         for _ in range(due):
             key = self.covert_keys[self._covert_cursor % n_keys]
             self._covert_cursor += 1
-            shard = self._shard_of(key)
+            if multi:
+                bucket = reta_dp.bucket_of(key)
+                shard = reta_dp.reta[bucket]
+            else:
+                bucket = 0
+                shard = self._shard_of(key)
             view = self._shards[shard]
-            entry = self._attacker_entries.get(key)
+            entry = self._attacker_entries.get((shard, key))
             if entry is not None and entry.alive:
                 entry.refresh(t1)
-                cycles_by_shard[shard] += ranked_hit_costs[shard] if ranked else (
+                cost = ranked_hit_costs[shard] if ranked else (
                     self.cost_model.expected_megaflow_hit_cost(view.mask_count)
                 )
             else:
                 installed = self.switch.handle_miss(key, now=mid)
                 if installed is not None:
-                    self._attacker_entries[key] = installed
-                cycles_by_shard[shard] += self.cost_model.miss_cost(
+                    self._attacker_entries[(shard, key)] = installed
+                cost = self.cost_model.miss_cost(
                     view.mask_count,
                     rules_examined=view.rule_count,
                 )
+            cycles_by_shard[shard] += cost
+            if charge_buckets:
+                reta_dp.record_bucket_cycles(bucket, cost)
         return due, cycles_by_shard
 
     def _emc_hit_rate(self, attack_active: bool) -> float:
@@ -284,6 +315,30 @@ class DataplaneSimulator:
         )
         return f_new * miss_cost + (1.0 - f_new) * hit_cost
 
+    def _victim_shares(self) -> list[float] | None:
+        """Per-shard fraction of the victim's offered load under the
+        *current* RETA (``None`` = split evenly, the non-RETA case).
+
+        Uniform traffic follows the bucket counts; a skewed workload
+        follows the Zipf bucket weights — so a rebalance that remaps
+        buckets really moves victim load (and its capacity demand)
+        between PMDs.
+        """
+        if self._reta_dp is None:
+            return None
+        reta = self._reta_dp.reta
+        n_shards = len(self._shards)
+        weights = self._bucket_weights
+        if weights is None:
+            counts = [0] * n_shards
+            for shard in reta:
+                counts[shard] += 1
+            return [count / len(reta) for count in counts]
+        shares = [0.0] * n_shards
+        for bucket, shard in enumerate(reta):
+            shares[shard] += weights[bucket]
+        return shares
+
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -299,6 +354,8 @@ class DataplaneSimulator:
                 "victim_avg_cycles",
                 "attacker_pps",
                 "attacker_cycles",
+                "shard_load_imbalance",
+                "rebalances",
             ]
         )
         t = 0.0
@@ -308,25 +365,49 @@ class DataplaneSimulator:
             self._refresh_victim_flows(t_next)
             sent, cycles_by_shard = self._send_covert(t, t_next)
             self.switch.advance_clock(t_next)
+            if (
+                self._reta_dp is not None
+                and self._reta_dp.rebalancer.rebalances != self._seen_rebalances
+            ):
+                # a remap strands covert entries on their old shards;
+                # once idled out they are unreachable through the
+                # (shard, key) map, so prune the dead ones — otherwise
+                # the EMC competition model would count them as active
+                # flows for the rest of the run
+                self._seen_rebalances = self._reta_dp.rebalancer.rebalances
+                self._attacker_entries = {
+                    pair: entry
+                    for pair, entry in self._attacker_entries.items()
+                    if entry.alive
+                }
 
             attack_active = self.attacker is not None and self.attacker.active_at(t)
             emc_hit_rate = self._emc_hit_rate(attack_active)
 
             # per-PMD capacity: each shard's core spends its own budget
-            # on the victim share it serves (offered load RSS-spreads
-            # evenly), minus the attacker and revalidator cycles landing
-            # on *that* shard.  One shard reduces to the classic
-            # single-datapath formula term for term.
+            # on the victim share it serves (the current RETA decides
+            # how offered load spreads — evenly without one), minus the
+            # attacker and revalidator cycles landing on *that* shard.
+            # One shard reduces to the classic single-datapath formula
+            # term for term.
             shards = self._shards
             n_shards = len(shards)
-            offered_share_pps = self.victim.offered_pps / n_shards
+            shares = self._victim_shares()
             achieved_pps = 0.0
             capacity_pps = 0.0
             avg_cost_total = 0.0
             attacker_cycles = 0.0
+            avg_costs: list[float] = []
+            tick_loads: list[float] = []
             for index, view in enumerate(shards):
                 avg_cost = self._victim_avg_cost(view, emc_hit_rate)
+                avg_costs.append(avg_cost)
                 avg_cost_total += avg_cost
+                offered_share_pps = (
+                    self.victim.offered_pps / n_shards
+                    if shares is None
+                    else self.victim.offered_pps * shares[index]
+                )
                 reval_cycles = (
                     view.megaflow_count
                     * self.cost_model.cycles_revalidate_flow
@@ -340,9 +421,31 @@ class DataplaneSimulator:
                 shard_capacity = self.cost_model.capacity_pps(avg_cost, available)
                 capacity_pps += shard_capacity
                 achieved_pps += min(offered_share_pps, shard_capacity)
+                tick_loads.append(
+                    offered_share_pps * self.dt * avg_cost + cycles_by_shard[index]
+                )
+            # feed the victim's (analytically modelled) demand into the
+            # rebalancer's per-bucket window, so skewed benign load —
+            # not only attack traffic — drives remaps
+            reta_dp = self._reta_dp
+            if (
+                reta_dp is not None
+                and n_shards > 1
+                and reta_dp.rebalancer.enabled
+            ):
+                weights = self._bucket_weights
+                uniform = 1.0 / len(reta_dp.reta)
+                demand = self.victim.offered_pps * self.dt
+                for bucket, shard in enumerate(reta_dp.reta):
+                    weight = uniform if weights is None else weights[bucket]
+                    reta_dp.record_bucket_cycles(
+                        bucket, weight * demand * avg_costs[shard]
+                    )
             if self.noise:
                 achieved_pps *= 1.0 + self.rng.uniform(-self.noise, self.noise)
             frame_bits = self.victim.frame_bytes * 8
+            mean_load = sum(tick_loads) / n_shards
+            imbalance = max(tick_loads) / mean_load if mean_load > 0 else 1.0
 
             series.append(
                 t=t_next,
@@ -354,6 +457,10 @@ class DataplaneSimulator:
                 victim_avg_cycles=avg_cost_total / n_shards,
                 attacker_pps=sent / self.dt,
                 attacker_cycles=attacker_cycles / self.dt,
+                shard_load_imbalance=imbalance,
+                rebalances=(
+                    reta_dp.rebalancer.rebalances if reta_dp is not None else 0
+                ),
             )
             t = t_next
         return SimulationResult(series, self.switch, self.victim, self.attacker)

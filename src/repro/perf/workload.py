@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util.rng import DeterministicRng
 from repro.util.units import parse_bps
 
 
@@ -27,11 +28,42 @@ class VictimWorkload:
     concurrent_flows: int = 5000
     #: new connections per second (each first packet is a cache miss)
     new_flows_per_sec: float = 500.0
+    #: Zipf skew of how the offered load spreads over RSS hash buckets:
+    #: 0 = uniform (every bucket carries the same share); ~1+ = the
+    #: heavy-tailed elephant-flow / hot-prefix regime real traffic
+    #: exhibits (cf. *Traffic Dynamics of Computer Networks*), which
+    #: leaves statically-hashed PMDs asymmetrically loaded
+    skew: float = 0.0
 
     @classmethod
     def from_text(cls, offered: str, **kwargs: object) -> "VictimWorkload":
         """Build with a human-readable rate, e.g. ``from_text("1 Gbps")``."""
         return cls(offered_bps=parse_bps(offered), **kwargs)  # type: ignore[arg-type]
+
+    def bucket_weights(self, buckets: int, seed: int = 0) -> list[float]:
+        """The fraction of offered load landing in each of ``buckets``
+        RSS hash buckets (sums to ~1).
+
+        Uniform at ``skew=0`` (exactly ``1/buckets`` each — no RNG is
+        touched, preserving bit-identity with the pre-skew arithmetic).
+        Otherwise Zipf(``skew``) rank weights are assigned to buckets
+        in a deterministic seed-derived shuffle, so the hot buckets
+        scatter across the indirection table the way elephant flows
+        scatter across a NIC's hash space.
+        """
+        if buckets < 1:
+            raise ValueError(f"need at least one bucket, got {buckets}")
+        if self.skew <= 0:
+            return [1.0 / buckets] * buckets
+        weights = [1.0 / (rank ** self.skew) for rank in range(1, buckets + 1)]
+        # plain integer arithmetic for the shuffle seed (never label
+        # forking, whose str hash is process-salted): the same seed
+        # yields the same bucket permutation in every process, so
+        # CI-gated imbalance numbers reproduce exactly
+        shuffle_seed = (seed * 0x9E3779B97F4A7C15 + 0xB0C4E75) & 0x7FFF_FFFF_FFFF_FFFF
+        DeterministicRng(shuffle_seed).shuffle(weights)
+        total = sum(weights)
+        return [w / total for w in weights]
 
     @property
     def offered_pps(self) -> float:

@@ -95,6 +95,9 @@ class Datapath(Protocol):
     @property
     def scan_order(self) -> str: ...
 
+    @property
+    def tss_lookups(self) -> int: ...
+
     def expected_scan_depth(self) -> float: ...
 
     @property
@@ -122,6 +125,9 @@ class CachelessDatapath:
         self.name = name
         self.space = space
         self.clock = 0.0
+        #: classifications served (the protocol's ``tss_lookups``
+        #: analogue: every packet is one scan over the static groups)
+        self.tss_lookups = 0
 
     # -- datapath ----------------------------------------------------------
 
@@ -145,6 +151,7 @@ class CachelessDatapath:
         classify = self.inner.process
         for key in keys:
             outcome = classify(key)
+            self.tss_lookups += 1
             batch.add(
                 PacketResult(
                     action=outcome.action,

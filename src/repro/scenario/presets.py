@@ -135,6 +135,19 @@ SCENARIOS.register(
     ),
 )
 SCENARIOS.register(
+    "calico-netdev-pmd4-alb",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-netdev-pmd4-alb",
+        profile="netdev-pmd4-alb",
+        workload_skew=1.1,
+        duration=120.0,
+        attack_start=30.0,
+        description="skewed victim load on 4 PMDs with RETA auto-"
+        "rebalancing (the attack meets a moving hash→shard map)",
+    ),
+)
+SCENARIOS.register(
     "calico-cacheless",
     ScenarioSpec(
         surface="calico",

@@ -347,10 +347,12 @@ def _detector(threshold: int = 64, respond_delay: float = 20.0) -> DefenseAgent:
 # ---------------------------------------------------------------------------
 
 #: a backend builder:
-#: (profile, space, name, seed, staged, scan_order, key_mode, shards)
-#: -> Datapath.  ``shards`` resolves as spec override or profile
-#: default; builders without a sharded variant must reject shards > 1
-#: rather than silently ignore the axis.
+#: (profile, space, name, seed, staged, scan_order, key_mode, shards,
+#: reta_size, rebalance_interval) -> Datapath.  ``shards`` /
+#: ``reta_size`` / ``rebalance_interval`` resolve as spec override or
+#: profile default; builders without a sharded variant must reject
+#: shards > 1 (and a requested rebalance) rather than silently ignore
+#: the axis.
 BackendBuilder = Callable[..., Datapath]
 
 BACKENDS: Registry[BackendBuilder] = Registry("datapath backend")
@@ -359,12 +361,15 @@ BACKENDS: Registry[BackendBuilder] = Registry("datapath backend")
 @BACKENDS.register("ovs")
 def _ovs_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                  seed: int = 0, staged: bool = False, scan_order: str = "",
-                 key_mode: str = "packed", shards: int = 1) -> Datapath:
+                 key_mode: str = "packed", shards: int = 1,
+                 reta_size: int = 0,
+                 rebalance_interval: float | None = None) -> Datapath:
     if shards > 1:
         return sharded_switch_for_profile(
             profile, space=space, name=name, shards=shards,
             staged_lookup=staged, seed=seed, scan_order=scan_order or None,
-            key_mode=key_mode,
+            key_mode=key_mode, reta_size=reta_size,
+            rebalance_interval=rebalance_interval,
         )
     return switch_for_profile(
         profile, space=space, name=name, staged_lookup=staged, seed=seed,
@@ -375,21 +380,26 @@ def _ovs_backend(profile: DatapathProfile, space: FieldSpace, name: str,
 @BACKENDS.register("sharded")
 def _sharded_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                      seed: int = 0, staged: bool = False, scan_order: str = "",
-                     key_mode: str = "packed", shards: int = 1) -> Datapath:
+                     key_mode: str = "packed", shards: int = 1,
+                     reta_size: int = 0,
+                     rebalance_interval: float | None = None) -> Datapath:
     """The multi-PMD datapath, explicitly — even at ``shards=1``, where
     it is observationally identical to the ``ovs`` backend (the
     equivalence the test suite pins)."""
     return sharded_switch_for_profile(
         profile, space=space, name=name, shards=shards,
         staged_lookup=staged, seed=seed, scan_order=scan_order or None,
-        key_mode=key_mode,
+        key_mode=key_mode, reta_size=reta_size,
+        rebalance_interval=rebalance_interval,
     )
 
 
 @BACKENDS.register("ovs-tuple")
 def _ovs_tuple_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                        seed: int = 0, staged: bool = False, scan_order: str = "",
-                       shards: int = 1, **_ignored) -> Datapath:
+                       shards: int = 1, reta_size: int = 0,
+                       rebalance_interval: float | None = None,
+                       **_ignored) -> Datapath:
     """The tuple-keyed reference TSS (the packed fast path's checked
     baseline) — run any scenario through it to cross-validate results.
     Pins ``key_mode="tuple"``; a spec's ``key_mode`` is ignored here
@@ -398,7 +408,8 @@ def _ovs_tuple_backend(profile: DatapathProfile, space: FieldSpace, name: str,
         return sharded_switch_for_profile(
             profile, space=space, name=name, shards=shards,
             staged_lookup=staged, seed=seed, scan_order=scan_order or None,
-            key_mode="tuple",
+            key_mode="tuple", reta_size=reta_size,
+            rebalance_interval=rebalance_interval,
         )
     return switch_for_profile(
         profile, space=space, name=name, staged_lookup=staged, seed=seed,
@@ -409,10 +420,17 @@ def _ovs_tuple_backend(profile: DatapathProfile, space: FieldSpace, name: str,
 @BACKENDS.register("cacheless")
 def _cacheless_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                        seed: int = 0, staged: bool = False, scan_order: str = "",
-                       key_mode: str = "packed", shards: int = 1) -> Datapath:
+                       key_mode: str = "packed", shards: int = 1,
+                       reta_size: int = 0,
+                       rebalance_interval: float | None = None) -> Datapath:
     if shards > 1:
         raise ValueError(
             "the cacheless backend has no sharded variant (its per-packet "
             "cost is already attack-independent); use shards=1"
+        )
+    if rebalance_interval:
+        raise ValueError(
+            "the cacheless backend has no PMD shards to rebalance; "
+            "leave rebalance_interval unset (or 0)"
         )
     return CachelessDatapath(space, name=name)

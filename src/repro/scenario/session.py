@@ -247,6 +247,12 @@ class Session:
             scan_order=self.spec.scan_order,
             key_mode=self.spec.key_mode,
             shards=self.spec.shards or self.profile.shards,
+            reta_size=self.spec.reta_size or self.profile.reta_size,
+            rebalance_interval=(
+                self.profile.rebalance_interval
+                if self.spec.rebalance_interval is None
+                else self.spec.rebalance_interval
+            ),
         )
         for defense in self.defenses:
             defense.attach(datapath)
@@ -272,6 +278,7 @@ class Session:
                 frame_bytes=spec.victim_frame_bytes,
                 concurrent_flows=spec.victim_concurrent_flows,
                 new_flows_per_sec=spec.victim_new_flows_per_sec,
+                skew=spec.workload_skew,
             ),
             attacker=AttackerWorkload(
                 rate_bps=spec.covert_rate_bps,

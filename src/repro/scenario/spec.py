@@ -87,6 +87,18 @@ class ScenarioSpec:
     #: an effective count of 1 is behaviourally identical to the
     #: unsharded switch
     shards: int = 0
+    #: RSS indirection-table buckets on sharded backends (rounded up to
+    #: a multiple of the shard count); 0 defers to the profile's default
+    reta_size: int = 0
+    #: PMD auto-load-balance interval in simulated seconds: how often
+    #: RETA buckets are remapped hottest-PMD → coolest.  0 disables
+    #: (bit-identical to a static RSS spread); ``None`` defers to the
+    #: datapath profile's default
+    rebalance_interval: float | None = None
+    #: Zipf skew of the victim's per-hash-bucket load (0 = uniform; ~1+
+    #: = the heavy-tailed elephant-flow regime that leaves statically
+    #: hashed PMDs asymmetrically loaded)
+    workload_skew: float = 0.0
     #: multiplicative throughput noise (0 = deterministic)
     noise: float = 0.0
     seed: int = 7
@@ -107,6 +119,15 @@ class ScenarioSpec:
             raise ValueError("duration must be positive")
         if self.shards < 0:
             raise ValueError("shards must be >= 0 (0 = profile default)")
+        if self.reta_size < 0:
+            raise ValueError("reta_size must be >= 0 (0 = profile default)")
+        if self.rebalance_interval is not None and self.rebalance_interval < 0:
+            raise ValueError(
+                "rebalance_interval must be >= 0 (0 disables; omit for the "
+                "profile default)"
+            )
+        if self.workload_skew < 0:
+            raise ValueError("workload_skew must be >= 0 (0 = uniform)")
 
     # -- registry validation ------------------------------------------------
 

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.attack.analysis import AttackDimension, reachable_mask_count
 from repro.attack.packets import CovertStreamGenerator, covert_keys_for_dimensions
+from repro.ovs.pmd import rss_hash
 from repro.flow.fields import OVS_FIELDS, toy_single_field_space
 from repro.net.ipv4 import PROTO_TCP, PROTO_UDP, IPv4
 from repro.net.l4 import Tcp, Udp
@@ -114,3 +115,83 @@ class TestCovertStreamGenerator:
         assert len(packets) == 16
         # replay rate encoded in timestamps
         assert packets[1].timestamp - packets[0].timestamp == pytest.approx(1 / 820, abs=1e-5)
+
+
+class TestSpreadCoverage:
+    """The spread-key coverage bugfix: budget exhaustion is explicit,
+    high-order free bits are enumerated before giving up, and nothing
+    silently disappears."""
+
+    def _generator(self, dims):
+        return CovertStreamGenerator(dims, dst_ip=0x0A000002)
+
+    def test_high_order_free_bits_found_under_a_tight_budget(self):
+        """A dispatcher keyed on a *high* free bit: the old low-order
+        counter walk (tries 1..budget flip only the low bits) could
+        never steer to shard 1; the single-bit stage must."""
+        dim = AttackDimension("ip_src", 0x0A00000A, 3, 32)  # >=29 free bits
+        generator = self._generator([dim])
+
+        def shard_of(key):
+            return (key.get("ip_src") >> 28) & 1
+
+        report = generator.spread_coverage(2, shard_of, max_tries_per_shard=16)
+        assert report.complete
+        assert report.coverage == 1.0
+        assert len(report.keys) == 2 * 3  # one variant per (combo, shard)
+        # the old enumeration would have been stuck on shard_of(base):
+        budget = 16 * 2
+        low_bits_only = {shard_of(key) for key in generator.keys()} | {
+            (0x0A00000A ^ counter) >> 28 & 1 for counter in range(budget)
+        }
+        assert low_bits_only == {0}  # low counters never flip bit 28
+
+    def test_budget_starved_case_is_reported_not_silent(self):
+        """The regression: free entropy remains but the budget runs out
+        — previously indistinguishable from an unreachable shard."""
+        dim = AttackDimension("ip_src", 0x0A00000A, 1, 32)  # 31 free bits
+        generator = self._generator([dim])
+
+        def shard_of(key):  # shard 1 needs one exact 24-bit pattern
+            return 1 if (key.get("ip_src") & 0xFFFFFF) == 0x123456 else 0
+
+        report = generator.spread_coverage(2, shard_of, max_tries_per_shard=4)
+        assert not report.complete
+        assert report.budget_exhausted == 1  # entropy was left unexplored
+        assert report.missed == {0: (1,)}
+        assert len(report.keys) == report.reached_pairs
+        assert report.coverage == pytest.approx(0.5)
+
+    def test_tiny_spaces_are_exhausted_and_marked_unreachable(self):
+        """Combinations whose whole free space fits the budget are fully
+        enumerated: their misses are genuine, not budget artefacts."""
+        dim = AttackDimension("tp_dst", 80, 16, 16)
+        generator = self._generator([dim])
+        report = generator.spread_coverage(
+            4, lambda key: rss_hash(key.packed) % 4
+        )
+        # the deep-witness combos (0-1 free bits) cannot reach 4 shards
+        assert not report.complete
+        assert report.budget_exhausted == 0
+        deep = {combo for combo, gaps in report.missed.items()}
+        assert deep  # at least the zero/one-bit combos
+        for combo, gaps in report.missed.items():
+            assert len(gaps) >= 1
+
+    def test_spread_keys_is_the_coverage_keys_list(self):
+        dim = AttackDimension("tp_dst", 80, 8, 16)
+        generator = self._generator([dim])
+        shard_of = lambda key: rss_hash(key.packed) % 3
+        report = generator.spread_coverage(3, shard_of)
+        assert generator.spread_keys(3, shard_of) == report.keys
+        assert len(report.combo_of) == len(report.keys)
+        # combo_of groups variants of one combination contiguously
+        assert report.combo_of == sorted(report.combo_of)
+
+    def test_full_entropy_reaches_every_shard(self):
+        report = self._generator([IP_DIM, DPORT_DIM]).spread_coverage(
+            4, lambda key: rss_hash(key.packed) % 4
+        )
+        # only witnesses at (near-)full depth lack steering entropy
+        assert report.coverage > 0.95
+        assert report.budget_exhausted == 0

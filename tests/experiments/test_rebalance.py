@@ -1,0 +1,55 @@
+"""E10 — RETA rebalancing ablation: the skewed-load gap closes, remaps
+strand the spread attacker, and the re-probe recovers coverage."""
+
+import pytest
+
+from repro.experiments import rebalance
+
+
+@pytest.fixture(scope="module")
+def report():
+    return rebalance.run_rebalance_ablation(duration=30.0)
+
+
+class TestSkewedLoad:
+    def test_rebalancing_closes_the_worst_shard_gap(self, report):
+        static = report.static_row
+        rebalanced = report.rebalanced_row
+        assert static.imbalance > 1.2  # skew really loads shards unevenly
+        assert rebalanced.imbalance < static.imbalance
+        assert rebalanced.imbalance < 1.2  # ... and auto-lb closes it
+        assert rebalanced.rebalances > 0
+        assert static.rebalances == 0
+
+
+class TestSpreadStranding:
+    def test_remap_strands_the_static_attacker(self, report):
+        strand = report.strand
+        assert strand.poisoned_before == strand.shards
+        assert strand.buckets_moved > 0
+        assert strand.stranded_mask_fraction > 0.05
+        assert strand.mean_refreshed_after_remap < strand.mean_refreshed_before
+
+    def test_reprobe_recovers_coverage(self, report):
+        strand = report.strand
+        assert (
+            strand.mean_refreshed_after_reprobe
+            > strand.mean_refreshed_after_remap
+        )
+        assert strand.poisoned_after_reprobe >= strand.poisoned_after_remap
+        # the moving target cost the attacker a fresh probing campaign
+        assert strand.reprobe_packets > 0
+
+
+class TestRendering:
+    def test_render_tells_the_story(self, report):
+        text = rebalance.render(report)
+        assert "E10" in text
+        assert "closes the worst-shard gap" in text
+        assert "re-probes" in text
+
+    def test_csv_rows(self, report):
+        rows = rebalance.to_csv_rows(report)
+        assert rows[0].startswith("section,label")
+        assert len(rows) == 4  # header + 2 campaigns + strand summary
+        assert any("skewed-load,static RSS" in row for row in rows)

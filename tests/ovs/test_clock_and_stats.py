@@ -13,6 +13,8 @@ from repro.flow.fields import toy_single_field_space
 from repro.flow.key import FlowKey
 from repro.flow.match import FlowMatch
 from repro.flow.rule import FlowRule
+from repro.ovs.revalidator import Revalidator
+from repro.ovs.stats import SwitchStats
 from repro.ovs.switch import OvsSwitch
 from repro.scenario.datapath import CachelessDatapath
 
@@ -82,6 +84,68 @@ class TestMonotonicClock:
         assert datapath.clock == 7.0
 
 
+class TestSweepCadence:
+    """The revalidator cadence bugfix: ``maybe_sweep`` aligns
+    ``last_sweep`` to the sweep-interval grid, so the sweep count (and
+    with it the ranked ``resort_every`` re-sort rhythm) is a function
+    of simulated time — not of when callers happened to check."""
+
+    def _reval(self):
+        space, switch = _toy_switch()
+        return Revalidator(switch.megaflow, sweep_interval=0.5)
+
+    def test_off_grid_call_does_not_phase_shift_the_cadence(self):
+        # the original bug: a call at t=0.7 set last_sweep=0.7, pushing
+        # the next sweep to >= 1.2 even though the grid owed one at 1.0
+        reval = self._reval()
+        reval.maybe_sweep(0.7)
+        assert reval.sweeps == 1
+        assert reval.last_sweep == 0.5  # snapped to the grid
+        reval.maybe_sweep(1.05)
+        assert reval.sweeps == 2
+        assert reval.last_sweep == 1.0
+
+    def test_sweep_count_is_call_pattern_independent(self):
+        sparse = self._reval()
+        for now in (0.7, 1.05, 1.6, 2.1):
+            sparse.maybe_sweep(now)
+        dense = self._reval()
+        for tick in range(22):
+            dense.maybe_sweep(tick * 0.1)
+        assert sparse.sweeps == dense.sweeps == 4
+
+    def test_idle_gap_yields_one_sweep_on_the_grid(self):
+        reval = self._reval()
+        reval.maybe_sweep(10.3)  # a long idle gap, checked off-grid
+        assert reval.sweeps == 1
+        assert reval.last_sweep == 10.0  # grid-aligned, not 10.3
+        assert reval.maybe_sweep(10.4) == 0 and reval.sweeps == 1
+        reval.maybe_sweep(10.5)
+        assert reval.sweeps == 2
+
+    def test_unconditional_sweep_keeps_its_semantics(self):
+        reval = self._reval()
+        reval.sweep(0.7)  # explicit sweeps still stamp the exact time
+        assert reval.last_sweep == 0.7
+
+    def test_resort_cadence_follows_simulated_time(self):
+        """resort_every counts grid sweeps: the same simulated span
+        re-sorts the same number of times under any call pattern."""
+        space = toy_single_field_space()
+
+        def run(times):
+            switch = OvsSwitch(
+                space=space, scan_order="ranked", resort_every_sweeps=2
+            )
+            for now in times:
+                switch.advance_clock(now)
+            return switch.revalidator.sweeps
+
+        assert run([0.7, 1.05, 1.6, 2.1]) == run(
+            [tick * 0.1 for tick in range(22)]
+        )
+
+
 class TestStatsSnapshot:
     def test_snapshot_exports_avg_tuples_per_megaflow_lookup(self):
         space, switch = _toy_switch()
@@ -95,6 +159,11 @@ class TestStatsSnapshot:
             switch.stats.avg_tuples_per_megaflow_lookup
         )
         assert snap["avg_tuples_per_megaflow_lookup"] > 0
+
+    def test_scan_weighted_load(self):
+        stats = SwitchStats(packets=10, tuples_scanned=40)
+        assert stats.scan_weighted_load(100.0, 10.0) == 10 * 100.0 + 40 * 10.0
+        assert SwitchStats().scan_weighted_load() == 0.0
 
     def test_snapshot_consistent_with_raw_counters(self):
         space, switch = _toy_switch()

@@ -26,6 +26,38 @@ class TestVictimWorkload:
         assert idle.miss_fraction == 0.0
 
 
+class TestBucketWeights:
+    """The elephant-flow / skewed-Zipf victim axis."""
+
+    def test_uniform_when_skew_zero(self):
+        weights = VictimWorkload().bucket_weights(128)
+        assert weights == [1.0 / 128] * 128
+
+    def test_skewed_weights_normalise_and_are_heavy_tailed(self):
+        victim = VictimWorkload(skew=1.2)
+        weights = victim.bucket_weights(128, seed=7)
+        assert sum(weights) == pytest.approx(1.0)
+        ordered = sorted(weights, reverse=True)
+        # a genuine heavy tail: the top bucket dwarfs the median
+        assert ordered[0] > 10 * ordered[64]
+
+    def test_deterministic_per_seed_and_scattered(self):
+        victim = VictimWorkload(skew=1.0)
+        a = victim.bucket_weights(64, seed=3)
+        assert a == victim.bucket_weights(64, seed=3)
+        assert a != victim.bucket_weights(64, seed=4)
+        # the hot bucket is shuffled away from index 0 for some seed
+        hot_positions = {
+            max(range(64), key=victim.bucket_weights(64, seed=s).__getitem__)
+            for s in range(4)
+        }
+        assert hot_positions != {0}
+
+    def test_rejects_empty_bucket_space(self):
+        with pytest.raises(ValueError):
+            VictimWorkload(skew=1.0).bucket_weights(0)
+
+
 class TestAttackerWorkload:
     def test_paper_covert_stream_rates(self):
         attacker = AttackerWorkload(rate_bps=2e6, frame_bytes=64)

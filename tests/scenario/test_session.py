@@ -176,6 +176,104 @@ class TestShardedSessions:
         assert "mallory" in result.defenses[0].tradeoff
 
 
+class TestRebalanceSessions:
+    """The E10 equivalence matrix: disabled rebalancing is pure
+    plumbing, one shard has nothing to rebalance, and the skew/interval
+    axes flow through spec → profile → datapath."""
+
+    def test_disabled_rebalance_is_series_identical_to_default(self):
+        base = SCENARIOS.get("k8s").evolve(
+            duration=20.0, attack_start=6.0, backend="sharded", shards=4
+        )
+        default = Session(base).run()
+        disabled = Session(base.evolve(rebalance_interval=0.0)).run()
+        assert default.series.columns == disabled.series.columns
+        assert default.series.rows == disabled.series.rows
+        assert default.scan_stats() == disabled.scan_stats()
+
+    def test_one_shard_with_rebalance_on_matches_bare_switch(self):
+        base = SCENARIOS.get("k8s").evolve(duration=20.0, attack_start=6.0)
+        plain = Session(base).run()
+        one = Session(
+            base.evolve(backend="sharded", shards=1, rebalance_interval=2.0)
+        ).run()
+        assert one.series.rows == plain.series.rows
+        assert one.datapath.rebalancer.rebalances == 0  # nothing to move
+
+    def test_skewed_workload_with_rebalance_really_remaps(self):
+        spec = SCENARIOS.get("k8s").evolve(
+            duration=16.0,
+            attack_start=160.0,  # benign run: skew alone drives remaps
+            backend="sharded",
+            shards=4,
+            workload_skew=1.2,
+            rebalance_interval=2.0,
+        )
+        result = Session(spec).run()
+        datapath = result.datapath
+        assert datapath.rebalancer.rebalances > 0
+        assert datapath.rebalancer.buckets_moved > 0
+        assert datapath.reta != [b % 4 for b in range(datapath.reta_size)]
+        assert result.series.last("rebalances") > 0
+
+    def test_skew_reduces_to_uniform_when_zero(self):
+        spec = SCENARIOS.get("k8s").evolve(
+            duration=12.0, attack_start=4.0, backend="sharded", shards=4
+        )
+        a = Session(spec).run()
+        b = Session(spec.evolve(workload_skew=0.0)).run()
+        assert a.series.rows == b.series.rows
+
+    def test_alb_profile_defaults(self):
+        session = Session(ScenarioSpec(surface="k8s", profile="netdev-pmd4-alb"))
+        datapath = session.build_datapath()
+        assert len(datapath.shards) == 4
+        assert datapath.rebalancer.interval == 5.0
+        assert datapath.rebalancer.enabled
+
+    def test_spec_overrides_profile_rebalance_and_reta(self):
+        session = Session(
+            ScenarioSpec(
+                surface="k8s",
+                profile="netdev-pmd4-alb",
+                rebalance_interval=0.0,
+                reta_size=64,
+            )
+        )
+        datapath = session.build_datapath()
+        assert not datapath.rebalancer.enabled
+        assert datapath.reta_size == 64
+
+    def test_cacheless_rejects_rebalance(self):
+        spec = ScenarioSpec(
+            surface="calico", backend="cacheless", rebalance_interval=5.0
+        )
+        with pytest.raises(ValueError):
+            Session(spec).build_datapath()
+
+    def test_rebalance_spec_round_trips(self):
+        spec = ScenarioSpec(
+            surface="k8s",
+            backend="sharded",
+            shards=4,
+            reta_size=256,
+            rebalance_interval=3.5,
+            workload_skew=1.1,
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        # defaults are omitted from the dict form
+        assert "rebalance_interval" not in ScenarioSpec(surface="k8s").to_dict()
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(surface="k8s", rebalance_interval=-1.0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(surface="k8s", reta_size=-8)
+        with pytest.raises(ValueError):
+            ScenarioSpec(surface="k8s", workload_skew=-0.5)
+
+
 class TestCliScenario:
     def test_list(self, capsys):
         assert main(["scenario", "--list"]) == 0
@@ -187,6 +285,14 @@ class TestCliScenario:
         assert main(
             ["scenario", "k8s", "--backend", "sharded", "--shards", "2",
              "--duration", "15", "--attack-start", "5"]
+        ) == 0
+        assert "masks=" in capsys.readouterr().out
+
+    def test_rebalance_overrides(self, capsys):
+        assert main(
+            ["scenario", "k8s", "--backend", "sharded", "--shards", "2",
+             "--rebalance-interval", "2", "--workload-skew", "1.2",
+             "--reta-size", "64", "--duration", "20", "--attack-start", "5"]
         ) == 0
         assert "masks=" in capsys.readouterr().out
 

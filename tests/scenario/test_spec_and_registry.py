@@ -65,7 +65,8 @@ class TestBuiltinRegistries:
 
     def test_profiles_and_backends(self):
         assert PROFILES.names() == [
-            "kernel", "netdev", "netdev-ranked", "netdev-pmd4"
+            "kernel", "netdev", "netdev-ranked", "netdev-pmd4",
+            "netdev-pmd4-alb",
         ]
         assert {"ovs", "ovs-tuple", "cacheless", "sharded"} <= set(BACKENDS.names())
 
