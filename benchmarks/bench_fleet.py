@@ -1,0 +1,228 @@
+"""Wall-clock + equivalence record for the fleet simulator, with a
+built-in N=1 equivalence gate.
+
+Three measurements, emitted as a ``BENCH_fleet.json`` perf record:
+
+1. **N=1 equivalence gate** — a one-node ``static`` fleet must be
+   **bit-identical** to the equivalent plain ``Session`` run: same
+   per-node time-series rows, same datapath scan stats, same final
+   mask count.  The fleet layer (event loop, fabric delivery, mailbox
+   drains, windowed attacker) must be pure orchestration around the
+   same per-node arithmetic.  Any mismatch exits non-zero, failing CI.
+2. **Determinism** — the same ``FleetSpec`` + seed run twice, and once
+   more with the per-tick node-step events *scheduled* in reverse node
+   order, must produce identical aggregate and per-node series.
+3. **Scaling** — wall-clock for the rolling-attacker campaign at
+   growing node counts (the event loop's bill is one control + N step
+   + one observe event per tick; covert work follows the attacker, not
+   the fleet size).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py          # full
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet import FleetSession, FleetSpec  # noqa: E402
+from repro.scenario.presets import SCENARIOS  # noqa: E402
+from repro.scenario.session import Session  # noqa: E402
+
+
+def _base_scenario(duration: float):
+    return SCENARIOS.get("k8s").evolve(
+        duration=duration, attack_start=duration / 3
+    )
+
+
+def check_equivalence(duration: float) -> list[str]:
+    """The N=1 contract; returns mismatch descriptions."""
+    problems: list[str] = []
+    base = _base_scenario(duration)
+
+    plain = Session(base).run()
+    fleet_session = FleetSession(
+        FleetSpec(scenario=base, nodes=1, mobility="static",
+                  name="gate-n1")
+    )
+    fleet = fleet_session.run()
+
+    if plain.series.rows != fleet.node_series[0].rows:
+        problems.append("one-node fleet series != plain Session series")
+    if plain.series.columns != fleet.node_series[0].columns:
+        problems.append("one-node fleet series columns differ")
+    if plain.final_mask_count() != fleet.final_node_masks[0]:
+        problems.append(
+            f"final masks differ: session {plain.final_mask_count()} "
+            f"vs fleet {fleet.final_node_masks[0]}"
+        )
+    # the per-node datapath stats must match too (same packets, same
+    # tuples scanned): the fleet's fabric/mailbox layer must not have
+    # touched the datapath outside the per-tick step arithmetic
+    node_stats = fleet_session.nodes[0].datapath.stats.snapshot()
+    for name, value in plain.scan_stats().items():
+        if node_stats.get(name) != value:
+            problems.append(
+                f"scan stat {name!r} differs: session {value} vs fleet "
+                f"{node_stats.get(name)}"
+            )
+    return problems
+
+
+def check_determinism(duration: float, nodes: int) -> list[str]:
+    """Same spec + seed (and reordered step scheduling) => same series."""
+    problems: list[str] = []
+    spec = FleetSpec(
+        scenario=_base_scenario(duration),
+        nodes=nodes,
+        mobility="rolling",
+        dwell=4.0,
+        fleet_defense="quarantine",
+        name="gate-determinism",
+    )
+
+    def run(order=None):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return FleetSession(spec).run(node_step_order=order)
+
+    first = run()
+    second = run()
+    reversed_order = run(order=list(range(nodes))[::-1])
+    if first.aggregate.rows != second.aggregate.rows:
+        problems.append("two identical runs produced different aggregates")
+    for index, (a, b) in enumerate(zip(first.node_series, second.node_series)):
+        if a.rows != b.rows:
+            problems.append(f"two identical runs differ on node {index}")
+            break
+    if first.aggregate.rows != reversed_order.aggregate.rows:
+        problems.append(
+            "reversing same-tick step scheduling changed the aggregate"
+        )
+    for index, (a, b) in enumerate(
+        zip(first.node_series, reversed_order.node_series)
+    ):
+        if a.rows != b.rows:
+            problems.append(
+                f"reversing same-tick step scheduling changed node {index}"
+            )
+            break
+    return problems
+
+
+def measure_scaling(node_counts, duration: float, dwell: float,
+                    seed: int) -> list[dict]:
+    results = []
+    base = _base_scenario(duration).evolve(seed=seed)
+    for nodes in node_counts:
+        spec = FleetSpec(
+            scenario=base,
+            nodes=nodes,
+            mobility="rolling",
+            dwell=dwell,
+            name=f"bench-roll-{nodes}",
+        )
+        start = time.perf_counter()
+        result = FleetSession(spec).run()
+        wall = time.perf_counter() - start
+        ticks = len(result.aggregate)
+        results.append(
+            {
+                "nodes": nodes,
+                "wall_seconds": wall,
+                "ticks": ticks,
+                "node_ticks_per_sec": nodes * ticks / wall,
+                "peak_poisoned": int(
+                    max(result.aggregate.column("poisoned_nodes"))
+                ),
+                "fabric_delivered": result.fabric["delivered"],
+            }
+        )
+        print(
+            f"nodes={nodes:<3d} {wall:6.2f}s wall  "
+            f"{results[-1]['node_ticks_per_sec']:>8.0f} node-ticks/s  "
+            f"peak poisoned {results[-1]['peak_poisoned']}/{nodes}"
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_fleet.json"))
+    args = parser.parse_args(argv)
+
+    gate_duration = 18.0 if args.quick else 30.0
+    scale_duration = 30.0 if args.quick else 60.0
+    node_counts = (1, 4, 8) if args.quick else (1, 4, 16)
+
+    problems = check_equivalence(gate_duration)
+    if problems:
+        print("N=1 fleet equivalence FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+    else:
+        print("N=1 fleet equivalence: ok (bit-identical to Session)")
+
+    determinism_problems = check_determinism(
+        gate_duration, nodes=3 if args.quick else 4
+    )
+    if determinism_problems:
+        print("fleet determinism FAILED:")
+        for problem in determinism_problems:
+            print(f"  - {problem}")
+    else:
+        print("fleet determinism: ok (seed-stable, order-invariant)")
+
+    scaling = measure_scaling(node_counts, scale_duration, dwell=4.0,
+                              seed=args.seed)
+
+    biggest, smallest = scaling[-1], scaling[0]
+    ratios = {
+        # ≈ linear: the event loop adds per-node-tick overhead, not
+        # superlinear coordination cost
+        "wall_nodeN_vs_node1":
+            biggest["wall_seconds"] / smallest["wall_seconds"],
+        "node_ticks_per_sec_at_max":
+            biggest["node_ticks_per_sec"],
+    }
+
+    all_problems = problems + determinism_problems
+    record = {
+        "benchmark": "fleet_simulator",
+        "quick": args.quick,
+        "params": {
+            "gate_duration": gate_duration,
+            "scale_duration": scale_duration,
+            "node_counts": list(node_counts),
+            "seed": args.seed,
+        },
+        "equivalence_ok": not problems,
+        "determinism_ok": not determinism_problems,
+        "problems": all_problems,
+        "scaling": scaling,
+        "ratios": ratios,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\nwrote {args.output}")
+    for name, value in ratios.items():
+        print(f"  {name}: {value:.2f}")
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,7 +82,16 @@ class AttackCampaign:
         space: FieldSpace = OVS_FIELDS,
         noise: float = 0.0,
         seed: int = 7,
+        attacker_strategy: str = "naive",
+        reprobe_interval: float = 0.0,
+        reprobe_tries: int = 128,
     ) -> None:
+        if attacker_strategy not in ("naive", "spread"):
+            raise ValueError(
+                f"unknown attacker_strategy {attacker_strategy!r}: naive | spread"
+            )
+        if reprobe_interval < 0:
+            raise ValueError("reprobe_interval must be >= 0 (0 = never re-probe)")
         self.cms = cms
         self.policy = policy
         self.dimensions = dimensions
@@ -106,9 +115,51 @@ class AttackCampaign:
             tenant=tenant,
             pod_name=f"{tenant}-pod",
         )
+        self.attacker_strategy = attacker_strategy
+        self.reprobe_interval = reprobe_interval
+        self.reprobe_tries = reprobe_tries
         self.generator = CovertStreamGenerator(
             dimensions, dst_ip=attacker_pod_ip, space=space
         )
+
+    def covert_stream(self):
+        """The covert key sequence plus its re-steer hook.
+
+        The ``naive`` strategy is the paper's one-key-per-mask stream.
+        The ``spread`` strategy (hash-aware, PR 3/4) steers one variant
+        per mask *per PMD shard* against the datapath's dispatcher; with
+        ``reprobe_interval > 0`` the returned refresh hook re-steers
+        against the *live* RETA (E10 showed a rebalanced table needs a
+        bigger search budget, hence ``reprobe_tries`` > the default 32).
+        Unsharded datapaths fall back to the naive stream — there is
+        nothing to spread over — unless a re-probe interval was
+        requested, which would then be a silent no-op and is rejected
+        instead.
+        """
+        if self.attacker_strategy == "spread":
+            from repro.ovs.pmd import shard_views
+
+            shards = len(shard_views(self.switch))
+            shard_of = getattr(self.switch, "shard_of", None)
+            if shards > 1 and shard_of is not None:
+                keys = self.generator.spread_keys(shards, shard_of)
+
+                def refresh() -> list[FlowKey]:
+                    return self.generator.spread_keys(
+                        shards, shard_of,
+                        max_tries_per_shard=self.reprobe_tries,
+                    )
+
+                return keys, (refresh if self.reprobe_interval > 0 else None)
+            if self.reprobe_interval > 0:
+                raise ValueError(
+                    "reprobe_interval needs a multi-shard datapath: on "
+                    f"{shards} shard(s) the spread stream falls back to "
+                    "the naive keys and there is no dispatcher to "
+                    "re-steer against (drop the interval, or use a "
+                    "sharded backend)"
+                )
+        return self.generator.keys(), None
 
     def compiled_rules(self):
         """The flow rules the CMS will install for the malicious policy."""
@@ -170,18 +221,21 @@ class AttackCampaign:
         def inject(switch: OvsSwitch) -> None:
             switch.add_rules(rules)
 
+        covert_keys, covert_refresh = self.covert_stream()
         return DataplaneSimulator(
             switch=self.switch,
             cost_model=self.cost_model,
             victim=self.victim,
             attacker=self.attacker,
-            covert_keys=self.generator.keys(),
+            covert_keys=covert_keys,
             victim_keys=self.victim_keys(),
             events=[(self.inject_time, inject), *extra_events],
             duration=self.duration,
             noise=self.noise,
             rng=self.rng.fork("simulator"),
             workload_seed=self.seed,
+            covert_refresh=covert_refresh,
+            reprobe_interval=self.reprobe_interval,
         )
 
     def run(self, extra_events=()) -> CampaignReport:
@@ -196,5 +250,5 @@ class AttackCampaign:
         return CampaignReport(
             prediction=prediction,
             simulation=result,
-            covert_packet_count=len(self.generator.keys()),
+            covert_packet_count=len(simulator.covert_keys),
         )

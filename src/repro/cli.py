@@ -16,6 +16,12 @@ Commands
     (``--list`` enumerates scenarios, surfaces, profiles, backends and
     defenses; flags override the spec's timing/backend knobs).
 
+``fleet``
+    Run a registered fleet campaign through the FleetSession API: N
+    hypervisor nodes on the fabric under one deterministic event loop,
+    with attacker mobility and fleet-level defenses (``--list``
+    enumerates fleet presets and mobility policies).
+
 ``experiment``
     Run one (or all) of the paper-artefact experiments; thin wrapper
     around :mod:`repro.experiments.runner`.
@@ -118,7 +124,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     overrides = {}
     for field_name in ("duration", "attack_start", "seed", "profile", "backend",
                        "scan_order", "key_mode", "shards", "reta_size",
-                       "rebalance_interval", "workload_skew"):
+                       "rebalance_interval", "workload_skew",
+                       "attacker_strategy", "reprobe_interval"):
         value = getattr(args, field_name)
         if value is not None:
             overrides[field_name] = value
@@ -135,6 +142,57 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         args.csv.mkdir(parents=True, exist_ok=True)
         written = result.to_csv(args.csv)
         print(f"\nCSV written to {written}")
+    return 0
+
+
+def _print_fleet_list() -> None:
+    from repro.fleet import FLEETS, MOBILITY
+    from repro.fleet.spec import FLEET_DEFENSES
+
+    print("fleet campaigns:")
+    for name, spec in FLEETS.items():
+        print(f"  {name:24s} {spec.description or spec.scenario.surface}")
+    print("\nmobility:        " + ", ".join(MOBILITY.names()))
+    print("fleet defenses:  " + ", ".join(FLEET_DEFENSES))
+    print("per-node axes:   any scenario spec (see 'repro scenario --list')")
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """The ``fleet`` command: the FleetSession API from the shell."""
+    from repro.fleet import FLEETS, FleetSession
+
+    if args.list:
+        _print_fleet_list()
+        return 0
+    if args.name is None:
+        raise SystemExit("fleet: a fleet campaign name (or --list) is required")
+    try:
+        spec = FLEETS.get(args.name)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    overrides = {}
+    for field_name in ("nodes", "mobility", "dwell", "stagger",
+                       "fleet_defense", "detect_interval"):
+        value = getattr(args, field_name)
+        if value is not None:
+            overrides[field_name] = value
+    scenario_overrides = {}
+    for field_name in ("duration", "attack_start", "seed"):
+        value = getattr(args, field_name)
+        if value is not None:
+            scenario_overrides[field_name] = value
+    try:
+        if scenario_overrides:
+            overrides["scenario"] = spec.scenario.evolve(**scenario_overrides)
+        if overrides:
+            spec = spec.evolve(**overrides)
+        result = FleetSession(spec).run()
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"fleet {spec.name!r}: {exc}")
+    print(result.render())
+    if args.csv is not None:
+        written = result.to_csv(args.csv)
+        print(f"\nCSV written to {written} (+ one per node)")
     return 0
 
 
@@ -208,11 +266,52 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="workload_skew",
                           help="Zipf skew of the victim's per-bucket load "
                           "(0 = uniform, ~1 = elephant flows)")
+    scenario.add_argument("--attacker", choices=("naive", "spread"),
+                          default=None, dest="attacker_strategy",
+                          help="covert stream construction: the paper's "
+                          "one-key-per-mask stream, or one hash-steered "
+                          "variant per mask per PMD shard")
+    scenario.add_argument("--reprobe-interval", type=float, default=None,
+                          dest="reprobe_interval",
+                          help="seconds between the spread attacker's "
+                          "re-steers against the live RETA (0 = steer once)")
     scenario.add_argument("--defense", action="append", default=None,
                           metavar="NAME", help="activate a defense (repeatable)")
     scenario.add_argument("--csv", type=Path, default=None, metavar="DIR",
                           help="also dump the result as CSV into DIR")
     scenario.set_defaults(func=cmd_scenario)
+
+    fleet = sub.add_parser(
+        "fleet", help="run a fleet campaign via the FleetSession API"
+    )
+    fleet.add_argument("name", nargs="?", default=None,
+                       help="fleet campaign name (see --list)")
+    fleet.add_argument("--list", action="store_true",
+                       help="enumerate fleet campaigns and mobility policies")
+    fleet.add_argument("--nodes", type=int, default=None,
+                       help="hypervisor node count")
+    fleet.add_argument("--mobility", default=None,
+                       help="attacker mobility: static | rolling | "
+                       "staggered | coordinated")
+    fleet.add_argument("--dwell", type=float, default=None,
+                       help="seconds the rolling attacker stays per node")
+    fleet.add_argument("--stagger", type=float, default=None,
+                       help="seconds between staggered joiners (0 = dwell)")
+    fleet.add_argument("--fleet-defense", dest="fleet_defense", default=None,
+                       choices=("none", "quarantine"),
+                       help="fleet-level defense")
+    fleet.add_argument("--detect-interval", dest="detect_interval",
+                       type=float, default=None,
+                       help="seconds between fleet detector observations")
+    fleet.add_argument("--duration", type=float, default=None,
+                       help="per-node campaign duration override")
+    fleet.add_argument("--attack-start", dest="attack_start", type=float,
+                       default=None, help="covert stream start override")
+    fleet.add_argument("--seed", type=int, default=None,
+                       help="base seed (nodes re-seed via shard_seed)")
+    fleet.add_argument("--csv", type=Path, default=None, metavar="DIR",
+                       help="dump the aggregate + per-node series into DIR")
+    fleet.set_defaults(func=cmd_fleet)
 
     experiment = sub.add_parser("experiment", help="run paper experiments")
     experiment.add_argument("names", nargs="*", help="experiment ids (default: all)")

@@ -23,6 +23,7 @@ from repro.experiments import (
     defenses,
     fig2,
     fig3,
+    fleet,
     masks,
     ranking,
     rebalance,
@@ -98,6 +99,15 @@ def run_rebalance_experiment(csv_dir: Path | None) -> str:
     return rebalance.render(report)
 
 
+def run_fleet_experiment(csv_dir: Path | None) -> str:
+    report = fleet.run_fleet_ablation()
+    if csv_dir is not None:
+        (csv_dir / "fleet.csv").write_text(
+            "\n".join(fleet.to_csv_rows(report)) + "\n"
+        )
+    return fleet.render(report)
+
+
 EXPERIMENTS = {
     "fig2": ("E1: Fig. 2b megaflow table", run_fig2_experiment),
     "masks": ("E2/E3: in-text mask counts", run_masks_experiment),
@@ -107,6 +117,7 @@ EXPERIMENTS = {
     "ranking": ("E8: subtable-ranking ablation", run_ranking_experiment),
     "sharding": ("E9: multi-PMD sharding ablation", run_sharding_experiment),
     "rebalance": ("E10: RETA rebalancing ablation", run_rebalance_experiment),
+    "fleet": ("E11: fleet campaign ablation", run_fleet_experiment),
 }
 
 

@@ -1,0 +1,38 @@
+"""The fleet's view of the discrete-event core: ticks and phases.
+
+The scheduler itself — :class:`~repro.util.eventloop.EventLoop`, a
+single binary heap ordered by ``(time, phase, seq)`` — lives in
+:mod:`repro.util.eventloop` so low-level consumers (the EMC
+micro-simulation) never depend on this package.  The fleet runs it on
+an *integer tick* clock (tick ``k`` covers simulated seconds
+``[k·dt, (k+1)·dt)``), which keeps the loop compatible with the
+per-node monotonic-clock contract and the interval-grid cadence of the
+revalidator/rebalancer sweeps, and pins a fixed per-tick **phase
+pipeline**:
+
+control → deliver → step → observe
+
+Node state is only touched from node-owned events, and nodes are
+independent within a phase, so a :class:`~repro.fleet.session.
+FleetResult` is invariant under reordering the *scheduling* of
+same-(tick, phase) events — the determinism contract the test suite
+pins.
+"""
+
+from __future__ import annotations
+
+from repro.util.eventloop import EventLoop
+
+__all__ = [
+    "EventLoop",
+    "PHASE_CONTROL",
+    "PHASE_DELIVER",
+    "PHASE_OBSERVE",
+    "PHASE_STEP",
+]
+
+#: the fleet's per-tick phase order
+PHASE_CONTROL = 0   #: attacker mobility, policy injection, operator actions
+PHASE_DELIVER = 1   #: mailbox drains (fabric messages -> process_batch)
+PHASE_STEP = 2      #: per-node dataplane steps (independent per node)
+PHASE_OBSERVE = 3   #: fleet detector + aggregate series sampling

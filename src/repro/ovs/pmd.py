@@ -63,6 +63,7 @@ from repro.ovs.megaflow import MegaflowEntry
 from repro.ovs.stats import SwitchStats
 from repro.ovs.switch import BatchResult, OvsSwitch, PacketResult
 from repro.ovs.upcall import InstallGuard
+from repro.util.cadence import advance_if_due
 
 _MASK64 = (1 << 64) - 1
 
@@ -155,6 +156,8 @@ class ShardedDatapath:
         rss_fields: Sequence[str] | None = None,
         reta_size: int = DEFAULT_RETA_SIZE,
         rebalance_interval: float = 0.0,
+        rebalance_improvement: float = 0.0,
+        rebalance_load_floor: float = 0.0,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -191,7 +194,12 @@ class ShardedDatapath:
         self.bucket_packets: list[int] = [0] * self.reta_size
         self.bucket_tuples: list[int] = [0] * self.reta_size
         self.bucket_cycles: list[float] = [0.0] * self.reta_size
-        self.rebalancer = PmdRebalancer(self, interval=rebalance_interval)
+        self.rebalancer = PmdRebalancer(
+            self,
+            interval=rebalance_interval,
+            improvement_threshold=rebalance_improvement,
+            load_floor=rebalance_load_floor,
+        )
         #: monotonic wrapper clock (max ``now`` seen), feeding the
         #: rebalancer's interval check the same way the per-shard
         #: clocks feed their revalidators
@@ -444,6 +452,8 @@ class PmdRebalancer:
         cycles_base: float | None = None,
         cycles_probe: float | None = None,
         min_imbalance: float = 1.05,
+        improvement_threshold: float = 0.0,
+        load_floor: float = 0.0,
     ) -> None:
         # late import: repro.perf.__init__ pulls in the factory, which
         # imports this module — the calibration constants themselves
@@ -461,10 +471,33 @@ class PmdRebalancer:
         self.cycles_probe = (
             DEFAULT_CYCLES_TUPLE_PROBE if cycles_probe is None else cycles_probe
         )
+        if improvement_threshold < 0:
+            raise ValueError(
+                "improvement_threshold must be >= 0 (0 = always remap, "
+                f"the pre-trigger behaviour), got {improvement_threshold}"
+            )
+        if load_floor < 0:
+            raise ValueError(
+                f"load_floor must be >= 0 (0 = no floor), got {load_floor}"
+            )
         self.min_imbalance = min_imbalance
+        #: OVS ``pmd-auto-lb-improvement-threshold``: a due pass only
+        #: applies its remap when the estimated post-remap variance
+        #: improvement (fraction of the pre-remap per-PMD load variance)
+        #: reaches this; 0 (default) applies every pass — the
+        #: pre-trigger behaviour, bit for bit
+        self.improvement_threshold = improvement_threshold
+        #: OVS ``pmd-auto-lb-load-threshold`` analogue: the mean
+        #: per-bucket window load (cycles) a pass needs before acting;
+        #: an idle node never shuffles its RETA.  0 (default) disables
+        #: the floor
+        self.load_floor = load_floor
         self.last_rebalance = 0.0
-        #: rebalance passes run (whether or not they moved anything)
+        #: rebalance passes that ran (whether or not they moved anything)
         self.rebalances = 0
+        #: due passes declined by the trigger condition (their load
+        #: window is *kept*, so pressure accumulates until worth acting)
+        self.deferred = 0
         #: buckets remapped across all passes
         self.buckets_moved = 0
 
@@ -497,23 +530,29 @@ class PmdRebalancer:
         grid so cadence follows simulated time, not call pattern."""
         if not self.enabled:
             return 0
-        elapsed = now - self.last_rebalance
-        if elapsed < self.interval:
+        anchor = advance_if_due(self.last_rebalance, now, self.interval)
+        if anchor is None:
             return 0
-        self.last_rebalance += int(elapsed // self.interval) * self.interval
+        self.last_rebalance = anchor
         return self.rebalance()
 
-    def rebalance(self) -> int:
-        """One greedy pass: move the best-fitting bucket from the
-        hottest shard to the coolest until balanced (or out of moves),
-        then reset the load window.  Returns buckets moved."""
+    def plan(
+        self, loads: Sequence[float] | None = None
+    ) -> tuple[list[tuple[int, int]], list[float], list[float]]:
+        """Plan one greedy pass on a *scratch* RETA: move the
+        best-fitting bucket from the hottest shard to the coolest until
+        balanced (or out of moves).  Returns ``(moves, per_shard_before,
+        per_shard_after)`` where each move is ``(bucket, dest_shard)``;
+        nothing is mutated."""
         dp = self.datapath
-        loads = self.bucket_loads()
+        if loads is None:
+            loads = self.bucket_loads()
+        reta = list(dp.reta)
         per_shard = self.shard_loads(loads)
+        before = list(per_shard)
         n_shards = len(per_shard)
         total = sum(per_shard)
-        moved = 0
-        self.rebalances += 1
+        moves: list[tuple[int, int]] = []
         if total > 0 and n_shards > 1:
             mean = total / n_shards
             for _ in range(dp.reta_size):
@@ -529,7 +568,7 @@ class PmdRebalancer:
                 best_load = -1.0
                 lightest = -1
                 lightest_load = float("inf")
-                for bucket, shard in enumerate(dp.reta):
+                for bucket, shard in enumerate(reta):
                     if shard != hot or loads[bucket] <= 0:
                         continue
                     load = loads[bucket]
@@ -541,10 +580,51 @@ class PmdRebalancer:
                     if lightest < 0 or lightest_load >= gap:
                         break
                     best, best_load = lightest, lightest_load
-                dp.reta[best] = cool
+                reta[best] = cool
                 per_shard[hot] -= best_load
                 per_shard[cool] += best_load
-                moved += 1
+                moves.append((best, cool))
+        return moves, before, per_shard
+
+    @staticmethod
+    def _variance(values: Sequence[float]) -> float:
+        mean = sum(values) / len(values)
+        return sum((v - mean) ** 2 for v in values) / len(values)
+
+    def _triggered(self, before: Sequence[float], after: Sequence[float],
+                   mean_bucket_load: float) -> bool:
+        """OVS's pmd-auto-lb trigger: act only when the node is loaded
+        enough to care *and* the planned remap is estimated to improve
+        the per-PMD load variance enough to be worth the churn.  The
+        defaults (both 0) accept every pass — the pre-trigger
+        behaviour."""
+        if mean_bucket_load < self.load_floor:
+            return False
+        if self.improvement_threshold <= 0:
+            return True
+        var_before = self._variance(before)
+        if var_before <= 0:
+            return False  # already flat: no improvement possible
+        improvement = (var_before - self._variance(after)) / var_before
+        return improvement >= self.improvement_threshold
+
+    def rebalance(self) -> int:
+        """One pass: plan the greedy remap, check the trigger condition,
+        and — when triggered — apply the moves and reset the load
+        window.  A declined pass keeps its window (pressure accumulates
+        until acting is worthwhile) and counts in ``deferred``.
+        Returns buckets moved."""
+        dp = self.datapath
+        loads = self.bucket_loads()
+        moves, before, after = self.plan(loads)
+        mean_bucket_load = sum(loads) / len(loads) if loads else 0.0
+        if not self._triggered(before, after, mean_bucket_load):
+            self.deferred += 1
+            return 0
+        self.rebalances += 1
+        for bucket, dest in moves:
+            dp.reta[bucket] = dest
+        moved = len(moves)
         self.buckets_moved += moved
         # fresh window: the next pass measures post-remap load only
         dp.bucket_packets = [0] * dp.reta_size

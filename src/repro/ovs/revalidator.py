@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.ovs.megaflow import MegaflowCache
 from repro.ovs.microflow import MicroflowCache
+from repro.util.cadence import advance_if_due
 
 DEFAULT_SWEEP_INTERVAL = 0.5
 
@@ -51,14 +52,11 @@ class Revalidator:
         callers happened to check.  (An off-grid ``now`` would otherwise
         phase-shift every subsequent sweep.)
         """
-        elapsed = now - self.last_sweep
-        if elapsed < self.sweep_interval:
+        anchor = advance_if_due(self.last_sweep, now, self.sweep_interval)
+        if anchor is None:
             return 0
-        grid_origin = self.last_sweep
-        evicted = self.sweep(now)
-        self.last_sweep = (
-            grid_origin + int(elapsed // self.sweep_interval) * self.sweep_interval
-        )
+        evicted = self.sweep(now)  # sets last_sweep = now ...
+        self.last_sweep = anchor   # ... which the grid anchor overrides
         return evicted
 
     def sweep(self, now: float) -> int:

@@ -95,6 +95,8 @@ def sharded_switch_for_profile(
     key_mode: str = "packed",
     reta_size: int = 0,
     rebalance_interval: float | None = None,
+    rebalance_improvement: float | None = None,
+    rebalance_load_floor: float | None = None,
 ) -> ShardedDatapath:
     """A multi-PMD datapath: ``shards`` independent per-profile switches
     behind the RETA dispatcher (``shards=0`` takes the profile's own
@@ -117,6 +119,16 @@ def sharded_switch_for_profile(
             profile.rebalance_interval
             if rebalance_interval is None
             else rebalance_interval
+        ),
+        rebalance_improvement=(
+            profile.rebalance_improvement
+            if rebalance_improvement is None
+            else rebalance_improvement
+        ),
+        rebalance_load_floor=(
+            profile.rebalance_load_floor
+            if rebalance_load_floor is None
+            else rebalance_load_floor
         ),
         shard_factory=lambda i: switch_for_profile(
             profile,

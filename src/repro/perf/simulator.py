@@ -37,6 +37,7 @@ if TYPE_CHECKING:
     from repro.scenario.datapath import Datapath
 from repro.perf.series import TimeSeries, Window
 from repro.perf.workload import AttackerWorkload, VictimWorkload
+from repro.util.cadence import advance_if_due
 from repro.util.rng import DeterministicRng
 
 #: revalidator sweeps per second (ovs-vswitchd sweeps roughly every 500 ms)
@@ -102,11 +103,15 @@ class DataplaneSimulator:
         noise: float = 0.0,
         rng: DeterministicRng | None = None,
         workload_seed: int = 0,
+        covert_refresh: Callable[[], Sequence[FlowKey]] | None = None,
+        reprobe_interval: float = 0.0,
     ) -> None:
         if attacker is not None and not covert_keys:
             raise ValueError("an attacker workload needs covert_keys")
         if dt <= 0 or duration <= 0:
             raise ValueError("duration and dt must be positive")
+        if reprobe_interval < 0:
+            raise ValueError("reprobe_interval must be >= 0 (0 = never)")
         self.switch = switch
         self.cost_model = cost_model
         self.victim = victim
@@ -118,6 +123,26 @@ class DataplaneSimulator:
         self.dt = dt
         self.noise = noise
         self.rng = rng or DeterministicRng(7)
+        # fleet/campaign control surface: a fleet controller scales the
+        # victim's offered load when pods migrate between nodes, and
+        # gates the covert stream per tick when the fabric fails to
+        # deliver a burst.  Both defaults are behaviourally inert
+        # (``x * 1.0`` is exact; the gate is never consulted when True),
+        # so a standalone simulator is bit-identical to pre-fleet runs.
+        self.offered_scale = 1.0
+        self.covert_gate = True
+        # the adaptive spread attacker: re-steer the covert stream
+        # against the live dispatcher every ``reprobe_interval``
+        # simulated seconds after the attack starts (0 = steer once at
+        # build time, the PR 3/4 snapshot behaviour)
+        self._covert_refresh = covert_refresh
+        self.reprobe_interval = reprobe_interval
+        self.reprobes = 0
+        self._last_reprobe = attacker.start_time if attacker is not None else 0.0
+        #: the step-driven execution state (:meth:`start` resets both;
+        #: :meth:`run` is ``start`` + ``step`` until ``duration``)
+        self.series = TimeSeries(columns=["t"])
+        self.t = 0.0
         # covert stream cursor and (shard, key) -> live entry map: the
         # refresh fast path is per PMD shard, because a RETA rebalance
         # can move a covert flow to a shard that has never seen it —
@@ -149,6 +174,38 @@ class DataplaneSimulator:
             self._bucket_weights = victim.bucket_weights(
                 len(self._reta_dp.reta), seed=workload_seed
             )
+
+    # -- fleet control surface ----------------------------------------------
+
+    def set_attacker(self, attacker) -> None:
+        """Swap the attacker workload (the fleet replaces it with a
+        mobility-windowed one) and re-derive the dependent reprobe
+        bookkeeping — the one place that invariant lives."""
+        self.attacker = attacker
+        self._last_reprobe = attacker.start_time if attacker is not None else 0.0
+
+    def set_victim_keys(self, keys: Sequence[FlowKey]) -> None:
+        """Replace the representative victim flows (per-node pods)."""
+        self.victim_keys = list(keys)
+
+    def adopt_victim_flows(self, keys: Sequence[FlowKey],
+                           entries: Sequence[MegaflowEntry | None]) -> None:
+        """Take over migrated victim flows: they join the refresh set,
+        with any already-installed megaflow entries registered so the
+        next tick refreshes instead of re-installing."""
+        for key, entry in zip(keys, entries):
+            self.victim_keys.append(key)
+            if entry is not None:
+                self._victim_entries[key] = entry
+
+    def release_victim_flows(self) -> list[FlowKey]:
+        """Give up every victim flow (quarantine migrates them away);
+        returns the released keys.  Their cached entries are dropped —
+        nothing refreshes them here any more."""
+        keys, self.victim_keys = self.victim_keys, []
+        for key in keys:
+            self._victim_entries.pop(key, None)
+        return keys
 
     # -- helpers -------------------------------------------------------------
 
@@ -198,6 +255,11 @@ class DataplaneSimulator:
         """
         cycles_by_shard = [0.0] * len(self._shards)
         if self.attacker is None or not self.covert_keys:
+            return 0, cycles_by_shard
+        if not self.covert_gate:
+            # the fleet controller found this node unreachable (e.g.
+            # quarantine detached it from the fabric): the burst never
+            # arrived, so nothing is charged and nothing refreshes
             return 0, cycles_by_shard
         due = self.attacker.packets_due(t0, t1)
         if due <= 0:
@@ -339,11 +401,28 @@ class DataplaneSimulator:
             shares[shard] += weights[bucket]
         return shares
 
+    def _maybe_reprobe(self, t: float) -> None:
+        """Re-steer the covert stream against the live dispatcher on the
+        re-probe grid (aligned like the rebalancer's interval check, so
+        cadence follows simulated time, not call pattern)."""
+        if self._covert_refresh is None or self.reprobe_interval <= 0:
+            return
+        if self.attacker is None or t < self.attacker.start_time:
+            return
+        anchor = advance_if_due(self._last_reprobe, t, self.reprobe_interval)
+        if anchor is None:
+            return
+        self._last_reprobe = anchor
+        self.covert_keys = list(self._covert_refresh())
+        self.reprobes += 1
+
     # -- main loop ------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Execute the simulation and return its time series."""
-        series = TimeSeries(
+    def start(self) -> TimeSeries:
+        """Initialise the run: an empty series and the clock at zero.
+        Step-driven callers (the fleet event loop) call this once, then
+        :meth:`step` per tick; :meth:`run` does both."""
+        self.series = TimeSeries(
             columns=[
                 "t",
                 "victim_throughput_bps",
@@ -358,109 +437,132 @@ class DataplaneSimulator:
                 "rebalances",
             ]
         )
-        t = 0.0
-        while t < self.duration:
-            t_next = t + self.dt
-            self._run_events(t, t_next)
-            self._refresh_victim_flows(t_next)
-            sent, cycles_by_shard = self._send_covert(t, t_next)
-            self.switch.advance_clock(t_next)
-            if (
-                self._reta_dp is not None
-                and self._reta_dp.rebalancer.rebalances != self._seen_rebalances
-            ):
-                # a remap strands covert entries on their old shards;
-                # once idled out they are unreachable through the
-                # (shard, key) map, so prune the dead ones — otherwise
-                # the EMC competition model would count them as active
-                # flows for the rest of the run
-                self._seen_rebalances = self._reta_dp.rebalancer.rebalances
-                self._attacker_entries = {
-                    pair: entry
-                    for pair, entry in self._attacker_entries.items()
-                    if entry.alive
-                }
+        self.t = 0.0
+        return self.series
 
-            attack_active = self.attacker is not None and self.attacker.active_at(t)
-            emc_hit_rate = self._emc_hit_rate(attack_active)
+    def step(self) -> float:
+        """Advance one tick ``[t, t + dt)`` and append its series row;
+        returns the new clock.  Extracted from the classic ``run`` loop
+        verbatim, so step-driven execution is bit-identical to it."""
+        series = self.series
+        t = self.t
+        t_next = t + self.dt
+        self._run_events(t, t_next)
+        self._maybe_reprobe(t)
+        self._refresh_victim_flows(t_next)
+        sent, cycles_by_shard = self._send_covert(t, t_next)
+        self.switch.advance_clock(t_next)
+        if (
+            self._reta_dp is not None
+            and self._reta_dp.rebalancer.rebalances != self._seen_rebalances
+        ):
+            # a remap strands covert entries on their old shards;
+            # once idled out they are unreachable through the
+            # (shard, key) map, so prune the dead ones — otherwise
+            # the EMC competition model would count them as active
+            # flows for the rest of the run
+            self._seen_rebalances = self._reta_dp.rebalancer.rebalances
+            self._attacker_entries = {
+                pair: entry
+                for pair, entry in self._attacker_entries.items()
+                if entry.alive
+            }
 
-            # per-PMD capacity: each shard's core spends its own budget
-            # on the victim share it serves (the current RETA decides
-            # how offered load spreads — evenly without one), minus the
-            # attacker and revalidator cycles landing on *that* shard.
-            # One shard reduces to the classic single-datapath formula
-            # term for term.
-            shards = self._shards
-            n_shards = len(shards)
-            shares = self._victim_shares()
-            achieved_pps = 0.0
-            capacity_pps = 0.0
-            avg_cost_total = 0.0
-            attacker_cycles = 0.0
-            avg_costs: list[float] = []
-            tick_loads: list[float] = []
-            for index, view in enumerate(shards):
-                avg_cost = self._victim_avg_cost(view, emc_hit_rate)
-                avg_costs.append(avg_cost)
-                avg_cost_total += avg_cost
-                offered_share_pps = (
-                    self.victim.offered_pps / n_shards
-                    if shares is None
-                    else self.victim.offered_pps * shares[index]
-                )
-                reval_cycles = (
-                    view.megaflow_count
-                    * self.cost_model.cycles_revalidate_flow
-                    * REVALIDATOR_SWEEPS_PER_SEC
-                )
-                shard_attacker_per_sec = cycles_by_shard[index] / self.dt
-                attacker_cycles += cycles_by_shard[index]
-                available = (
-                    self.cost_model.cpu_hz - shard_attacker_per_sec - reval_cycles
-                )
-                shard_capacity = self.cost_model.capacity_pps(avg_cost, available)
-                capacity_pps += shard_capacity
-                achieved_pps += min(offered_share_pps, shard_capacity)
-                tick_loads.append(
-                    offered_share_pps * self.dt * avg_cost + cycles_by_shard[index]
-                )
-            # feed the victim's (analytically modelled) demand into the
-            # rebalancer's per-bucket window, so skewed benign load —
-            # not only attack traffic — drives remaps
-            reta_dp = self._reta_dp
-            if (
-                reta_dp is not None
-                and n_shards > 1
-                and reta_dp.rebalancer.enabled
-            ):
-                weights = self._bucket_weights
-                uniform = 1.0 / len(reta_dp.reta)
-                demand = self.victim.offered_pps * self.dt
-                for bucket, shard in enumerate(reta_dp.reta):
-                    weight = uniform if weights is None else weights[bucket]
-                    reta_dp.record_bucket_cycles(
-                        bucket, weight * demand * avg_costs[shard]
-                    )
-            if self.noise:
-                achieved_pps *= 1.0 + self.rng.uniform(-self.noise, self.noise)
-            frame_bits = self.victim.frame_bytes * 8
-            mean_load = sum(tick_loads) / n_shards
-            imbalance = max(tick_loads) / mean_load if mean_load > 0 else 1.0
+        attack_active = self.attacker is not None and self.attacker.active_at(t)
+        emc_hit_rate = self._emc_hit_rate(attack_active)
 
-            series.append(
-                t=t_next,
-                victim_throughput_bps=achieved_pps * frame_bits,
-                victim_capacity_bps=capacity_pps * frame_bits,
-                masks=self.switch.mask_count,
-                megaflows=self.switch.megaflow_count,
-                emc_hit_rate=emc_hit_rate,
-                victim_avg_cycles=avg_cost_total / n_shards,
-                attacker_pps=sent / self.dt,
-                attacker_cycles=attacker_cycles / self.dt,
-                shard_load_imbalance=imbalance,
-                rebalances=(
-                    reta_dp.rebalancer.rebalances if reta_dp is not None else 0
-                ),
+        # per-PMD capacity: each shard's core spends its own budget
+        # on the victim share it serves (the current RETA decides
+        # how offered load spreads — evenly without one), minus the
+        # attacker and revalidator cycles landing on *that* shard.
+        # One shard reduces to the classic single-datapath formula
+        # term for term.
+        shards = self._shards
+        n_shards = len(shards)
+        shares = self._victim_shares()
+        # the fleet's migration knob: ``offered_scale`` rescales the
+        # victim demand this node serves (1.0 — the standalone default —
+        # multiplies exactly, keeping pre-fleet runs bit-identical)
+        offered_pps = self.victim.offered_pps * self.offered_scale
+        achieved_pps = 0.0
+        capacity_pps = 0.0
+        avg_cost_total = 0.0
+        attacker_cycles = 0.0
+        avg_costs: list[float] = []
+        tick_loads: list[float] = []
+        for index, view in enumerate(shards):
+            avg_cost = self._victim_avg_cost(view, emc_hit_rate)
+            avg_costs.append(avg_cost)
+            avg_cost_total += avg_cost
+            offered_share_pps = (
+                offered_pps / n_shards
+                if shares is None
+                else offered_pps * shares[index]
             )
-            t = t_next
-        return SimulationResult(series, self.switch, self.victim, self.attacker)
+            reval_cycles = (
+                view.megaflow_count
+                * self.cost_model.cycles_revalidate_flow
+                * REVALIDATOR_SWEEPS_PER_SEC
+            )
+            shard_attacker_per_sec = cycles_by_shard[index] / self.dt
+            attacker_cycles += cycles_by_shard[index]
+            available = (
+                self.cost_model.cpu_hz - shard_attacker_per_sec - reval_cycles
+            )
+            shard_capacity = self.cost_model.capacity_pps(avg_cost, available)
+            capacity_pps += shard_capacity
+            achieved_pps += min(offered_share_pps, shard_capacity)
+            tick_loads.append(
+                offered_share_pps * self.dt * avg_cost + cycles_by_shard[index]
+            )
+        # feed the victim's (analytically modelled) demand into the
+        # rebalancer's per-bucket window, so skewed benign load —
+        # not only attack traffic — drives remaps
+        reta_dp = self._reta_dp
+        if (
+            reta_dp is not None
+            and n_shards > 1
+            and reta_dp.rebalancer.enabled
+        ):
+            weights = self._bucket_weights
+            uniform = 1.0 / len(reta_dp.reta)
+            demand = offered_pps * self.dt
+            for bucket, shard in enumerate(reta_dp.reta):
+                weight = uniform if weights is None else weights[bucket]
+                reta_dp.record_bucket_cycles(
+                    bucket, weight * demand * avg_costs[shard]
+                )
+        if self.noise:
+            achieved_pps *= 1.0 + self.rng.uniform(-self.noise, self.noise)
+        frame_bits = self.victim.frame_bytes * 8
+        mean_load = sum(tick_loads) / n_shards
+        imbalance = max(tick_loads) / mean_load if mean_load > 0 else 1.0
+
+        series.append(
+            t=t_next,
+            victim_throughput_bps=achieved_pps * frame_bits,
+            victim_capacity_bps=capacity_pps * frame_bits,
+            masks=self.switch.mask_count,
+            megaflows=self.switch.megaflow_count,
+            emc_hit_rate=emc_hit_rate,
+            victim_avg_cycles=avg_cost_total / n_shards,
+            attacker_pps=sent / self.dt,
+            attacker_cycles=attacker_cycles / self.dt,
+            shard_load_imbalance=imbalance,
+            rebalances=(
+                reta_dp.rebalancer.rebalances if reta_dp is not None else 0
+            ),
+        )
+        self.t = t_next
+        return t_next
+
+    def result(self) -> SimulationResult:
+        """Wrap the (possibly step-driven) series in the result type."""
+        return SimulationResult(self.series, self.switch, self.victim, self.attacker)
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its time series."""
+        self.start()
+        while self.t < self.duration:
+            self.step()
+        return self.result()

@@ -148,6 +148,25 @@ SCENARIOS.register(
     ),
 )
 SCENARIOS.register(
+    "spread-campaign",
+    ScenarioSpec(
+        surface="k8s",
+        name="spread-campaign",
+        backend="sharded",
+        shards=4,
+        workload_skew=1.1,
+        rebalance_interval=5.0,
+        attacker_strategy="spread",
+        reprobe_interval=10.0,
+        victim_offered_bps=4e9,  # a 4-core node's worth of offered load
+        duration=120.0,
+        attack_start=30.0,
+        description="hash-aware spread attacker vs 4 auto-balanced PMDs,"
+        " re-probing the live RETA every 10 s (the E10 arms race as one"
+        " Session timeline)",
+    ),
+)
+SCENARIOS.register(
     "calico-cacheless",
     ScenarioSpec(
         surface="calico",

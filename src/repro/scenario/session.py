@@ -292,6 +292,8 @@ class Session:
             space=self.space,
             noise=spec.noise,
             seed=spec.seed,
+            attacker_strategy=spec.attacker_strategy,
+            reprobe_interval=spec.reprobe_interval,
         )
 
     # -- running -------------------------------------------------------------

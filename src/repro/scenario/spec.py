@@ -74,6 +74,16 @@ class ScenarioSpec:
     victim_new_flows_per_sec: float = 500.0
     #: the attacker pod the policy attaches to
     attacker_pod_ip: str = "10.0.9.10"
+    #: covert stream construction: "naive" (the paper's one key per
+    #: mask) or "spread" (hash-aware: one variant per mask per PMD
+    #: shard, steered against the datapath's dispatcher; falls back to
+    #: naive on unsharded backends)
+    attacker_strategy: str = "naive"
+    #: how often (simulated seconds) the spread attacker re-steers its
+    #: stream against the *live* RETA; 0 = steer once at build time
+    #: (only meaningful with ``attacker_strategy="spread"`` and a
+    #: rebalancing sharded backend)
+    reprobe_interval: float = 0.0
     #: enable the TSS staged-lookup optimisation
     staged_lookup: bool = False
     #: TSS subtable visit order ("insertion" | "hits" | "ranked");
@@ -128,6 +138,21 @@ class ScenarioSpec:
             )
         if self.workload_skew < 0:
             raise ValueError("workload_skew must be >= 0 (0 = uniform)")
+        if self.attacker_strategy not in ("naive", "spread"):
+            raise ValueError(
+                f"unknown attacker_strategy {self.attacker_strategy!r}: "
+                "naive | spread"
+            )
+        if self.reprobe_interval < 0:
+            raise ValueError("reprobe_interval must be >= 0 (0 = never)")
+        if self.reprobe_interval > 0 and self.attacker_strategy != "spread":
+            # a naive stream has nothing to re-steer: fail loudly rather
+            # than silently measuring the baseline under a knob the user
+            # believes is active
+            raise ValueError(
+                "reprobe_interval only applies to the spread attacker; "
+                'set attacker_strategy="spread" (or drop the interval)'
+            )
 
     # -- registry validation ------------------------------------------------
 

@@ -26,6 +26,9 @@ class Fabric:
     def __init__(self, name: str = "dc-fabric") -> None:
         self.name = name
         self.links: dict[str, FabricLink] = {}
+        #: links of detached nodes, counters preserved (a quarantined
+        #: node's traffic history must not vanish from the totals)
+        self.retired: dict[str, FabricLink] = {}
         self.delivered = 0
         self.undeliverable = 0
 
@@ -37,19 +40,63 @@ class Fabric:
             self.links[node_name] = link
         return link
 
+    def detach(self, node_name: str) -> bool:
+        """Disconnect a node (e.g. a fleet quarantine isolating a
+        poisoned hypervisor); later transmits to or from it count as
+        undeliverable.  The link's counters move to :attr:`retired` so
+        fabric-wide totals keep the node's history.  Returns whether
+        the node was attached."""
+        link = self.links.pop(node_name, None)
+        if link is None:
+            return False
+        old = self.retired.get(node_name)
+        if old is not None:
+            # re-attached and re-detached: merge the two lifetimes
+            old.tx_packets += link.tx_packets
+            old.tx_bytes += link.tx_bytes
+            old.rx_packets += link.rx_packets
+            old.rx_bytes += link.rx_bytes
+        else:
+            self.retired[node_name] = link
+        return True
+
     def transmit(self, src_node: str, dst_node: str, frame_bytes: int) -> bool:
         """Carry one frame between nodes; returns delivery success."""
+        return self.transmit_many(src_node, dst_node, 1, frame_bytes)
+
+    def transmit_many(self, src_node: str, dst_node: str, frames: int,
+                      frame_bytes: int) -> bool:
+        """Carry a burst of equal-size frames (one counter update, so a
+        fleet tick's worth of covert packets is not ``frames`` Python
+        calls).  Delivery is all-or-nothing; an undeliverable burst
+        counts every frame."""
+        if frames <= 0:
+            return True
         src = self.links.get(src_node)
         dst = self.links.get(dst_node)
         if src is None or dst is None:
-            self.undeliverable += 1
+            self.undeliverable += frames
             return False
-        src.tx_packets += 1
-        src.tx_bytes += frame_bytes
-        dst.rx_packets += 1
-        dst.rx_bytes += frame_bytes
-        self.delivered += 1
+        src.tx_packets += frames
+        src.tx_bytes += frames * frame_bytes
+        dst.rx_packets += frames
+        dst.rx_bytes += frames * frame_bytes
+        self.delivered += frames
         return True
+
+    def counters(self) -> dict[str, int]:
+        """A snapshot of the fabric-wide counters — the figures a fleet
+        result surfaces (``undeliverable`` used to be counted and then
+        silently ignored).  Retired (detached) links stay in the tx
+        sums, so the totals really are fabric-wide."""
+        every = [*self.links.values(), *self.retired.values()]
+        return {
+            "nodes": len(self.links),
+            "delivered": self.delivered,
+            "undeliverable": self.undeliverable,
+            "tx_packets": sum(link.tx_packets for link in every),
+            "tx_bytes": sum(link.tx_bytes for link in every),
+        }
 
     def __repr__(self) -> str:
         return f"Fabric({self.name}: {len(self.links)} nodes, {self.delivered} delivered)"

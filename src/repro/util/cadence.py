@@ -1,0 +1,36 @@
+"""Interval-grid cadence: when did a periodic task last become due?
+
+Periodic maintenance across the model — revalidator sweeps, PMD
+auto-lb passes, the spread attacker's re-probes, fleet detector rounds
+— fires on a fixed grid anchored at its *own* previous firing, so the
+number of firings is a function of simulated time, not of how often
+the caller happened to poll (PR 4 fixed a cadence-drift bug caused by
+hand-rolling exactly this).  The idiom lives here once.
+"""
+
+from __future__ import annotations
+
+
+def advance_to_grid(last: float, now: float, interval: float) -> float:
+    """The latest grid point ``last + k·interval`` (integer ``k ≥ 1``)
+    that is ``<= now``.  Callers check ``now - last >= interval`` first
+    — the task is due — then anchor their next window here, so a burst
+    of polls (or a long gap) yields the same firing schedule as a
+    perfectly regular caller."""
+    return last + int((now - last) // interval) * interval
+
+
+def advance_if_due(last: float, now: float, interval: float) -> float | None:
+    """The due-check and grid advance as one call: ``None`` when the
+    interval has not elapsed since ``last``, else the new grid anchor
+    (:func:`advance_to_grid`).  Callers own the anchor attribute::
+
+        anchor = advance_if_due(self.last_fire, now, self.interval)
+        if anchor is None:
+            return
+        self.last_fire = anchor
+        ...fire...
+    """
+    if now - last < interval:
+        return None
+    return advance_to_grid(last, now, interval)

@@ -1,0 +1,45 @@
+"""E11 smoke tests (small fleet sizes; the full run is the artefact)."""
+
+from repro.experiments import fleet
+
+
+class TestPoisonCurve:
+    def test_defense_flattens_the_curve(self):
+        rows = fleet.run_poison_curve(nodes=3, dwell=4.0)
+        undefended, defended = rows
+        assert undefended.peak_poisoned >= 1
+        assert dict(undefended.curve)[1] is not None
+        # mask budgets keep every node under the poison threshold
+        assert defended.peak_poisoned == 0
+        assert defended.final_max_masks <= 64
+        assert all(t is None for _k, t in defended.curve)
+
+
+class TestQuarantineAblation:
+    def test_quarantine_acts_and_costs(self):
+        rows = fleet.run_quarantine_ablation(nodes=2, dwells=(4.0,))
+        off, on = rows
+        assert not off.quarantine and on.quarantine
+        assert off.quarantined == 0 and off.undeliverable == 0
+        assert on.quarantined >= 1
+        assert on.migrations >= 1
+        assert on.undeliverable > 0
+        # containment is paid for in fleet capacity
+        assert on.attacked_throughput_bps <= off.attacked_throughput_bps
+
+
+class TestReport:
+    def test_render_and_csv(self):
+        report = fleet.FleetReport(
+            nodes=3,
+            poison_rows=fleet.run_poison_curve(nodes=3, dwell=4.0),
+            quarantine_rows=fleet.run_quarantine_ablation(
+                nodes=2, dwells=(4.0,)
+            ),
+        )
+        text = fleet.render(report)
+        assert "E11a" in text and "E11b" in text
+        rows = fleet.to_csv_rows(report)
+        assert rows[0].startswith("section,")
+        assert any(line.startswith("poison-curve,") for line in rows)
+        assert any(line.startswith("quarantine,") for line in rows)

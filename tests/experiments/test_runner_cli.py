@@ -10,11 +10,11 @@ from repro.experiments.runner import main as runner_main
 class TestRunner:
     def test_experiment_registry_covers_design_index(self):
         # every experiment id from DESIGN.md §4 that has a runner entry,
-        # plus the subtable-ranking (E8), multi-PMD sharding (E9) and
-        # RETA rebalancing (E10) ablations
+        # plus the subtable-ranking (E8), multi-PMD sharding (E9),
+        # RETA rebalancing (E10) and fleet campaign (E11) ablations
         assert set(EXPERIMENTS) == {
             "fig2", "masks", "fig3", "degradation", "defenses", "ranking",
-            "sharding", "rebalance",
+            "sharding", "rebalance", "fleet",
         }
 
     def test_run_single_experiment(self, capsys):

@@ -1,0 +1,77 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.fleet.loop import (
+    PHASE_CONTROL,
+    PHASE_DELIVER,
+    PHASE_OBSERVE,
+    PHASE_STEP,
+    EventLoop,
+)
+
+
+class TestOrdering:
+    def test_time_then_phase_then_fifo(self):
+        log = []
+        loop = EventLoop()
+        loop.schedule(2, lambda: log.append("t2-control"), phase=PHASE_CONTROL)
+        loop.schedule(1, lambda: log.append("t1-observe"), phase=PHASE_OBSERVE)
+        loop.schedule(1, lambda: log.append("t1-control-b"), phase=PHASE_CONTROL)
+        loop.schedule(1, lambda: log.append("t1-step"), phase=PHASE_STEP)
+        loop.schedule(1, lambda: log.append("t1-deliver"), phase=PHASE_DELIVER)
+        loop.run()
+        assert log == [
+            "t1-control-b", "t1-deliver", "t1-step", "t1-observe", "t2-control",
+        ]
+
+    def test_same_time_same_phase_is_fifo(self):
+        log = []
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(3, lambda i=i: log.append(i), phase=PHASE_STEP)
+        loop.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_events_scheduled_during_run_interleave(self):
+        log = []
+        loop = EventLoop()
+
+        def first():
+            log.append("first")
+            # same time, later phase: still runs this tick
+            loop.schedule(loop.now, lambda: log.append("chained"),
+                          phase=PHASE_DELIVER)
+            loop.schedule(loop.now + 1, lambda: log.append("next-tick"))
+
+        loop.schedule(0, first, phase=PHASE_CONTROL)
+        loop.schedule(0, lambda: log.append("observe"), phase=PHASE_OBSERVE)
+        loop.run()
+        assert log == ["first", "chained", "observe", "next-tick"]
+
+
+class TestContracts:
+    def test_scheduling_into_the_past_raises(self):
+        loop = EventLoop()
+        loop.schedule(5, lambda: None)
+        loop.run()
+        assert loop.now == 5
+        with pytest.raises(ValueError):
+            loop.schedule(4, lambda: None)
+
+    def test_run_until_leaves_future_events(self):
+        log = []
+        loop = EventLoop()
+        loop.schedule(1, lambda: log.append(1))
+        loop.schedule(10, lambda: log.append(10))
+        executed = loop.run(until=5)
+        assert executed == 1 and log == [1] and len(loop) == 1
+        loop.run()
+        assert log == [1, 10]
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for tick in range(4):
+            loop.schedule(tick, lambda: None)
+        loop.run()
+        assert loop.processed == 4

@@ -1,0 +1,96 @@
+"""Tests for mobility policies and the windowed attacker."""
+
+import pytest
+
+from repro.fleet.mobility import (
+    INFINITY,
+    MOBILITY,
+    ScheduledAttacker,
+    merge_windows,
+    windows_overlap,
+)
+from repro.perf.workload import AttackerWorkload
+
+
+class TestScheduledAttacker:
+    def test_single_open_window_matches_attacker_workload_exactly(self):
+        """The N=1 bit-identity anchor: identical packets_due/active_at
+        arithmetic on [start, inf) — including the fractional boundary
+        tick."""
+        classic = AttackerWorkload(rate_bps=2e6, frame_bytes=64,
+                                   start_time=7.25)
+        windowed = ScheduledAttacker(rate_bps=2e6, frame_bytes=64,
+                                     windows=((7.25, INFINITY),))
+        assert windowed.start_time == classic.start_time
+        assert windowed.rate_pps == classic.rate_pps
+        for t0 in (0.0, 6.0, 7.0, 7.25, 8.0, 100.0):
+            t1 = t0 + 1.0
+            assert windowed.packets_due(t0, t1) == classic.packets_due(t0, t1)
+            assert windowed.active_at(t0) == classic.active_at(t0)
+
+    def test_no_windows_never_active(self):
+        attacker = ScheduledAttacker(windows=())
+        assert attacker.start_time == INFINITY
+        assert not attacker.active_at(1e9)
+        assert attacker.packets_due(0.0, 1e9) == 0
+
+    def test_bounded_window_stops(self):
+        attacker = ScheduledAttacker(rate_bps=512.0, frame_bytes=64,
+                                     windows=((10.0, 12.0),))
+        # 512 bps / 512 bits = 1 pps
+        assert attacker.packets_due(9.0, 10.0) == 0
+        assert attacker.packets_due(10.0, 11.0) == 1
+        assert attacker.packets_due(11.0, 12.0) == 1
+        assert attacker.packets_due(12.0, 13.0) == 0
+        assert attacker.active_at(11.9) and not attacker.active_at(12.0)
+
+
+class TestMergeWindows:
+    def test_merges_adjacent_and_overlapping(self):
+        assert merge_windows([(5.0, 7.0), (0.0, 2.0), (2.0, 3.0)]) == (
+            (0.0, 3.0), (5.0, 7.0),
+        )
+
+    def test_drops_empty(self):
+        assert merge_windows([(3.0, 3.0), (1.0, 2.0)]) == ((1.0, 2.0),)
+
+
+class TestPolicies:
+    def test_static_targets_node_zero_only(self):
+        plan = MOBILITY.get("static")(4, 30.0, 120.0, 10.0, 0.0)
+        assert plan[0] == ((30.0, INFINITY),)
+        assert all(windows == () for windows in plan[1:])
+
+    def test_coordinated_targets_everyone(self):
+        plan = MOBILITY.get("coordinated")(3, 30.0, 120.0, 10.0, 0.0)
+        assert plan == [((30.0, INFINITY),)] * 3
+
+    def test_rolling_visits_in_order_and_cycles(self):
+        plan = MOBILITY.get("rolling")(2, 10.0, 50.0, 10.0, 0.0)
+        # visits: n0 @10-20, n1 @20-30, n0 @30-40, n1 @40-50
+        assert plan[0] == ((10.0, 20.0), (30.0, 40.0))
+        assert plan[1] == ((20.0, 30.0), (40.0, 50.0))
+        # exactly one node active at any attacked instant
+        for t in (10.0, 15.0, 25.0, 35.0, 45.0):
+            active = [windows_overlap(w, t, t + 0.5) for w in plan]
+            assert sum(active) == 1
+
+    def test_rolling_requires_positive_dwell(self):
+        with pytest.raises(ValueError):
+            MOBILITY.get("rolling")(2, 0.0, 50.0, 0.0, 0.0)
+
+    def test_staggered_ramp(self):
+        plan = MOBILITY.get("staggered")(3, 30.0, 120.0, 10.0, 5.0)
+        assert plan == [
+            ((30.0, INFINITY),),
+            ((35.0, INFINITY),),
+            ((40.0, INFINITY),),
+        ]
+
+    def test_staggered_falls_back_to_dwell(self):
+        plan = MOBILITY.get("staggered")(2, 0.0, 120.0, 8.0, 0.0)
+        assert plan[1] == ((8.0, INFINITY),)
+
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(KeyError):
+            MOBILITY.get("teleporting")

@@ -48,6 +48,26 @@ class TestNode:
         assert target.output_port == pod.port_no
         assert target.tenant == "alice"
 
+    def test_default_route_optional(self):
+        bare = Node("server1", install_default_route=False)
+        assert len(bare.switch.table) == 0
+
+    def test_mailbox_drains_in_delivery_order(self):
+        node = Node("server1")
+        node.enqueue(("covert", 10))
+        node.enqueue(("migrate", "key"))
+        assert node.drain_mailbox() == [("covert", 10), ("migrate", "key")]
+        assert node.drain_mailbox() == []
+
+    def test_accepts_sharded_datapath(self):
+        from repro.perf.factory import sharded_switch_for_profile
+
+        datapath = sharded_switch_for_profile("kernel", shards=2, seed=0)
+        node = Node("server1", switch=datapath)
+        node.provision_pod("web", "10.0.2.10", tenant="alice")
+        # rule management broadcast to every shard
+        assert all(shard.rule_count == 2 for shard in datapath.shards)
+
 
 class TestFabric:
     def test_transmit_counts(self):
@@ -68,6 +88,58 @@ class TestFabric:
         fabric = Fabric()
         first = fabric.attach("a")
         assert fabric.attach("a") is first
+
+    def test_transmit_many_counts_every_frame(self):
+        fabric = Fabric()
+        fabric.attach("a")
+        fabric.attach("b")
+        assert fabric.transmit_many("a", "b", 100, 64)
+        assert fabric.links["a"].tx_packets == 100
+        assert fabric.links["b"].rx_bytes == 6400
+        assert fabric.delivered == 100
+        assert fabric.transmit_many("a", "b", 0, 64)  # no-op burst
+
+    def test_detach_makes_node_undeliverable(self):
+        fabric = Fabric()
+        fabric.attach("a")
+        fabric.attach("b")
+        assert fabric.detach("b")
+        assert not fabric.detach("b")  # already gone
+        assert not fabric.transmit_many("a", "b", 7, 64)
+        assert fabric.undeliverable == 7
+
+    def test_detach_keeps_traffic_history_in_totals(self):
+        fabric = Fabric()
+        fabric.attach("a")
+        fabric.attach("b")
+        fabric.transmit_many("a", "b", 10, 100)
+        fabric.detach("a")
+        counters = fabric.counters()
+        # the detached node's tx history stays in the fabric-wide sums
+        assert counters["tx_packets"] == 10
+        assert counters["tx_bytes"] == 1000
+        assert counters["delivered"] == 10
+        assert counters["nodes"] == 1
+        # a second attach/detach lifetime merges, not overwrites
+        fabric.attach("a")
+        fabric.transmit_many("a", "b", 5, 100)
+        fabric.detach("a")
+        assert fabric.counters()["tx_packets"] == 15
+
+    def test_counters_snapshot(self):
+        fabric = Fabric()
+        fabric.attach("a")
+        fabric.attach("b")
+        fabric.transmit("a", "b", 1500)
+        fabric.transmit("a", "ghost", 100)
+        counters = fabric.counters()
+        assert counters == {
+            "nodes": 2,
+            "delivered": 1,
+            "undeliverable": 1,
+            "tx_packets": 1,
+            "tx_bytes": 1500,
+        }
 
 
 class TestCloudNetwork:
