@@ -1,0 +1,350 @@
+"""Wall-clock: the columnar vectorized engine (``ovs-vec``) vs the
+packed-int reference, with a built-in bit-identity gate.
+
+Three measurements, emitted as a ``BENCH_vec.json`` perf record:
+
+1. **Victim lookup_batch at 512 masks** — the paper's headline victim
+   scenario: the k8s-surface attack is installed through the real slow
+   path (512 subtables, one megaflow each), then four benign victim
+   flows land their own megaflow *behind* the attack masks, so every
+   victim packet's tuple-space scan walks past all 512 attack
+   subtables (scan depth >= 513, asserted from the lookup results).
+   The victim stream is timed straight through
+   ``megaflow.lookup_batch``: the reference pays one Python dict probe
+   per key per subtable, the vectorized engine one fingerprint pass
+   per column block over the whole burst.  The record asserts
+   **>= 10x** here — the tentpole's target — and exits non-zero below
+   it.
+2. **process_batch end-to-end** — the covert refresh stream through
+   the full pipeline (EMC probe, runs, revalidator) on both engines;
+   the speedup is smaller (the slow path is shared) but must stay
+   close to parity; the attack-state covert-refresh lookup ratio is
+   also recorded, ungated.
+3. **Equivalence gate** — ``ovs-vec`` must be byte-for-byte identical
+   to ``ovs`` on a mixed hit/miss/duplicate stream across plain,
+   ranked/resort, tiny-EMC and sharded-wrap configurations: same
+   per-packet results, stats snapshots, mask pvector order, TSS
+   counters and EMC occupancy.  Any mismatch exits non-zero, failing
+   CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_vec.py          # full
+    PYTHONPATH=src python benchmarks/bench_vec.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from itertools import cycle, islice
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.attack.packets import CovertStreamGenerator  # noqa: E402
+from repro.attack.policy import kubernetes_attack_policy  # noqa: E402
+from repro.cms.base import PolicyTarget  # noqa: E402
+from repro.cms.kubernetes import KubernetesCms  # noqa: E402
+from repro.flow.fields import OVS_FIELDS  # noqa: E402
+from repro.flow.key import FlowKey  # noqa: E402
+from repro.net.addresses import ip_to_int  # noqa: E402
+from repro.net.ethernet import ETHERTYPE_IPV4  # noqa: E402
+from repro.net.ipv4 import PROTO_TCP  # noqa: E402
+from repro.ovs.switch import OvsSwitch  # noqa: E402
+from repro.perf.factory import (  # noqa: E402
+    sharded_switch_for_profile,
+    switch_for_profile,
+)
+from repro.vec.engine import VecSwitch  # noqa: E402
+
+#: the tentpole's speedup floor on lookup_batch at 512 masks
+SPEEDUP_TARGET = 10.0
+
+
+def _attack_setup():
+    policy, dimensions = kubernetes_attack_policy()
+    target = PolicyTarget(
+        pod_ip=ip_to_int("10.0.9.10"), output_port=42, tenant="mallory"
+    )
+    rules = KubernetesCms().compile(policy, target, OVS_FIELDS)
+    covert = CovertStreamGenerator(dimensions, dst_ip=target.pod_ip).keys()
+    return rules, covert
+
+
+def _victim_keys():
+    """Four benign victim flows (one iperf-style connection burst) that
+    match none of the covert keys' megaflows — their own megaflow lands
+    behind all 512 attack subtables."""
+    return [
+        FlowKey(
+            OVS_FIELDS,
+            {
+                "in_port": 1,
+                "eth_type": ETHERTYPE_IPV4,
+                "ip_src": 0x0A000100 + i,
+                "ip_dst": 0x0A000200,
+                "ip_proto": PROTO_TCP,
+                "tp_src": 33000 + i,
+                "tp_dst": 5201,
+            },
+        )
+        for i in range(4)
+    ]
+
+
+def _attacked_switch(cls, seed: int):
+    """A kernel-profile switch with the 512-mask attack fully installed
+    (every covert key driven through the real slow path once), then the
+    victim flows' megaflow installed behind the attack masks."""
+    rules, covert = _attack_setup()
+    switch = switch_for_profile(
+        "kernel", seed=seed, name="bench-vec", switch_cls=cls
+    )
+    switch.add_rules(rules)
+    switch.process_batch(covert, now=0.0)
+    victim = _victim_keys()
+    switch.process_batch(victim, now=0.0)
+    return switch, covert, victim
+
+
+def measure_victim_lookup_batch(cls, lookups: int, warmup: int, burst: int,
+                                seed: int) -> tuple[float, int]:
+    """(keys/second, scan depth) for the *victim* stream straight
+    through ``megaflow.lookup_batch`` on the attacked state — the TSS
+    scan in isolation, no EMC in front.  Every victim lookup scans past
+    all 512 attack subtables before hitting its own megaflow; the
+    returned depth (tuples scanned per victim key) proves it."""
+    switch, _, victim = _attacked_switch(cls, seed)
+    probe = switch.megaflow.lookup_batch(victim, now=1.0)
+    depth = min(r.tuples_scanned for r in probe)
+    stream = list(islice(cycle(victim), warmup + lookups))
+    for start in range(0, warmup, burst):
+        switch.megaflow.lookup_batch(stream[start:start + burst], now=1.0)
+    measured = stream[warmup:]
+    begin = time.perf_counter()
+    for start in range(0, len(measured), burst):
+        switch.megaflow.lookup_batch(measured[start:start + burst], now=1.0)
+    return len(measured) / (time.perf_counter() - begin), depth
+
+
+def measure_covert_lookup_batch(cls, lookups: int, warmup: int, burst: int,
+                                seed: int) -> float:
+    """Keys/second for the covert *refresh* stream (attacker traffic,
+    uniform depths 1..512) through ``megaflow.lookup_batch`` — recorded
+    ungated alongside the victim measurement."""
+    switch, covert, _ = _attacked_switch(cls, seed)
+    stream = list(islice(cycle(covert), warmup + lookups))
+    for start in range(0, warmup, burst):
+        switch.megaflow.lookup_batch(stream[start:start + burst], now=1.0)
+    measured = stream[warmup:]
+    begin = time.perf_counter()
+    for start in range(0, len(measured), burst):
+        switch.megaflow.lookup_batch(measured[start:start + burst], now=1.0)
+    return len(measured) / (time.perf_counter() - begin)
+
+
+def measure_process_batch(cls, lookups: int, warmup: int, burst: int,
+                          seed: int) -> float:
+    """Keys/second through the full ``process_batch`` pipeline.  The
+    kernel profile's tiny EMC keeps the refresh stream miss-dominant,
+    so the TSS scan stays the bottleneck being compared."""
+    switch, covert, _ = _attacked_switch(cls, seed)
+    stream = list(islice(cycle(covert), warmup + lookups))
+    switch.process_batch(stream[:warmup], now=1.0)
+    measured = stream[warmup:]
+    begin = time.perf_counter()
+    for start in range(0, len(measured), burst):
+        switch.process_batch(measured[start:start + burst], now=1.0)
+    return len(measured) / (time.perf_counter() - begin)
+
+
+def _equivalence_stream(covert, limit: int = 96):
+    """Misses, EMC/megaflow-hit repeats and duplicate keys interleaved."""
+    stream = []
+    for i, key in enumerate(covert[:limit]):
+        stream.append(key)
+        if i % 5 == 0:
+            stream.append(covert[i // 2])  # repeat: cache hit or run dup
+        if i % 11 == 0:
+            stream.append(key)  # immediate duplicate within the run
+    return stream
+
+
+def check_equivalence(seed: int = 3) -> list[str]:
+    """``ovs-vec`` must match ``ovs`` observationally on every config;
+    returns a list of mismatch descriptions (empty = bit-identical)."""
+    rules, covert = _attack_setup()
+    stream = _equivalence_stream(covert)
+    fields = ("action", "path", "tuples_scanned", "hash_probes",
+              "install_skipped")
+    problems = []
+
+    configs = [
+        ("plain", {}),
+        ("ranked-resort7", {"scan_order": "ranked", "resort_interval": 7}),
+        ("tiny-emc", {"emc_entries": 8, "emc_ways": 1}),
+    ]
+    for label, kwargs in configs:
+        ref = OvsSwitch(space=OVS_FIELDS, name="ref", **kwargs)
+        vec = VecSwitch(space=OVS_FIELDS, name="vec", **kwargs)
+        ref.add_rules(rules)
+        vec.add_rules(rules)
+        ref_results = []
+        vec_results = []
+        now = 1.0
+        for start in range(0, len(stream), 37):
+            chunk = stream[start:start + 37]
+            ref_results.extend(ref.process_batch(chunk, now=now).results)
+            vec_results.extend(vec.process_batch(chunk, now=now).results)
+            now += 0.5
+        for i, (a, b) in enumerate(zip(ref_results, vec_results)):
+            mism = [f for f in fields if getattr(a, f) != getattr(b, f)]
+            if mism:
+                problems.append(f"[{label}] result {i} differs in {mism}")
+                break
+        if dataclasses.asdict(ref.stats) != dataclasses.asdict(vec.stats):
+            problems.append(f"[{label}] stats snapshots differ")
+        if ref.mask_count != vec.mask_count:
+            problems.append(f"[{label}] mask counts differ")
+        if ref.megaflow_count != vec.megaflow_count:
+            problems.append(f"[{label}] megaflow counts differ")
+        rt, vt = ref.megaflow.tss, vec.megaflow.tss
+        ref_counters = (rt.total_lookups, rt.total_tuples_scanned,
+                        rt.total_hash_probes, rt.resorts)
+        vec_counters = (vt.total_lookups, vt.total_tuples_scanned,
+                        vt.total_hash_probes, vt.resorts)
+        if ref_counters != vec_counters:
+            problems.append(
+                f"[{label}] TSS counters differ: {ref_counters} != "
+                f"{vec_counters}"
+            )
+        if [s.masks for s in rt.subtables()] != [s.masks for s in vt.subtables()]:
+            problems.append(f"[{label}] subtable pvector orders differ")
+        if ref.microflow.occupancy != vec.microflow.occupancy:
+            problems.append(f"[{label}] EMC occupancies differ")
+
+    # sharded wrap: a 2-shard vec datapath vs a 2-shard reference one
+    ref = sharded_switch_for_profile("kernel", shards=2, seed=seed)
+    vec = sharded_switch_for_profile(
+        "kernel", shards=2, seed=seed, switch_cls=VecSwitch
+    )
+    ref.add_rules(rules)
+    vec.add_rules(rules)
+    ref_batch = ref.process_batch(stream, now=1.0)
+    vec_batch = vec.process_batch(stream, now=1.0)
+    for i, (a, b) in enumerate(zip(ref_batch.results, vec_batch.results)):
+        mism = [f for f in fields if getattr(a, f) != getattr(b, f)]
+        if mism:
+            problems.append(f"[sharded] result {i} differs in {mism}")
+            break
+    if dataclasses.asdict(ref.stats) != dataclasses.asdict(vec.stats):
+        problems.append("[sharded] merged stats snapshots differ")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--lookups", type=int, default=None,
+                        help="measured lookups (default 8192, quick 2048)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup lookups (default 1024, quick 512)")
+    parser.add_argument("--burst", type=int, default=512,
+                        help="keys per lookup_batch burst")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_vec.json"))
+    args = parser.parse_args(argv)
+
+    lookups = args.lookups or (2048 if args.quick else 8192)
+    warmup = args.warmup or (512 if args.quick else 1024)
+
+    problems = check_equivalence()
+    if problems:
+        print("ovs-vec equivalence FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+    else:
+        print("ovs-vec equivalence: ok")
+
+    rates = {}
+    depths = {}
+    for label, cls in (("ref", OvsSwitch), ("vec", VecSwitch)):
+        rate, depth = measure_victim_lookup_batch(
+            cls, lookups, warmup, args.burst, args.seed
+        )
+        rates[f"{label}_victim_lookup_batch"] = rate
+        depths[label] = depth
+        print(f"{label} victim lookup_batch  {rate:>12.0f} keys/s "
+              f"(scan depth {depth})")
+    for label, cls in (("ref", OvsSwitch), ("vec", VecSwitch)):
+        rates[f"{label}_covert_lookup_batch"] = measure_covert_lookup_batch(
+            cls, lookups, warmup, args.burst, args.seed
+        )
+        print(f"{label} covert lookup_batch  "
+              f"{rates[f'{label}_covert_lookup_batch']:>12.0f} keys/s")
+    for label, cls in (("ref", OvsSwitch), ("vec", VecSwitch)):
+        rates[f"{label}_process_batch"] = measure_process_batch(
+            cls, lookups, warmup, args.burst, args.seed
+        )
+        print(f"{label} process_batch        "
+              f"{rates[f'{label}_process_batch']:>12.0f} keys/s")
+
+    ratios = {
+        # the tentpole's gated number: the victim's TSS scan past all
+        # 512 attack masks (the paper's headline degradation scenario)
+        "vec_vs_ref_victim_lookup_batch_512masks":
+            rates["vec_victim_lookup_batch"]
+            / rates["ref_victim_lookup_batch"],
+        # attacker refresh traffic (uniform depths 1..512), ungated
+        "vec_vs_ref_covert_lookup_batch":
+            rates["vec_covert_lookup_batch"]
+            / rates["ref_covert_lookup_batch"],
+        # end-to-end (slow path shared): near parity by construction
+        "vec_vs_ref_process_batch":
+            rates["vec_process_batch"] / rates["ref_process_batch"],
+    }
+    speedup = ratios["vec_vs_ref_victim_lookup_batch_512masks"]
+    # both engines must really be scanning past every attack subtable —
+    # a shallower depth would mean the workload regressed, not the scan
+    depth_ok = all(d >= 512 for d in depths.values())
+    speedup_ok = speedup >= SPEEDUP_TARGET and depth_ok
+
+    record = {
+        "benchmark": "vec_engine",
+        "quick": args.quick,
+        "params": {
+            "lookups": lookups,
+            "warmup": warmup,
+            "burst": args.burst,
+            "seed": args.seed,
+            "masks": 512,
+            "speedup_target": SPEEDUP_TARGET,
+            # tuples scanned per victim lookup on each engine; >= 513
+            # means the victim megaflow really sits behind the attack
+            "victim_scan_depth": depths,
+        },
+        "equivalence_ok": not problems,
+        "equivalence_problems": problems,
+        "speedup_ok": speedup_ok,
+        "rates_keys_per_sec": rates,
+        "ratios": ratios,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\nwrote {args.output}")
+    for name, value in ratios.items():
+        print(f"  {name}: {value:.2f}x")
+    if not depth_ok:
+        print(f"victim scan depth check FAILED: {depths} (expected >= 512)")
+    if speedup < SPEEDUP_TARGET:
+        print(f"speedup gate FAILED: {speedup:.2f}x < {SPEEDUP_TARGET:.0f}x")
+    return 1 if (problems or not speedup_ok) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

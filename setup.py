@@ -6,6 +6,14 @@ This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
 fall back to ``setup.py develop``, which needs neither.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # numpy powers the `ovs-vec` columnar engine; everything else is
+    # pure stdlib, and repro degrades gracefully (clear error from the
+    # vec backend, all other backends unaffected) when it is missing
+    install_requires=["numpy"],
+)

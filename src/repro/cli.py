@@ -42,6 +42,7 @@ from repro.net.addresses import ip_to_int
 from repro.ovs.tss import KEY_MODES, SCAN_ORDERS
 from repro.scenario import BACKENDS, DEFENSES, PROFILES, SCENARIOS, SURFACES, Session
 from repro.util.units import format_bps
+from repro.vec import HAVE_NUMPY, NumpyUnavailableError
 
 
 def _campaign_surfaces() -> list[str]:
@@ -107,7 +108,11 @@ def _print_scenario_list() -> None:
     print("key modes:   " + ", ".join(KEY_MODES) + " (--key-mode)")
     print("shards:      any N >= 1 (--shards; RSS-dispatched PMD shards)")
     print("rebalance:   --rebalance-interval SECONDS (0 = static RSS), "
+          "--rebalance-improvement FRAC, --rebalance-load-floor PPS, "
           "--reta-size BUCKETS, --workload-skew ZIPF (elephant flows)")
+    if not HAVE_NUMPY:
+        print("note:        the 'ovs-vec' backend needs NumPy, which is not "
+              "installed (pip install numpy)")
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
@@ -124,7 +129,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     overrides = {}
     for field_name in ("duration", "attack_start", "seed", "profile", "backend",
                        "scan_order", "key_mode", "shards", "reta_size",
-                       "rebalance_interval", "workload_skew",
+                       "rebalance_interval", "rebalance_improvement",
+                       "rebalance_load_floor", "workload_skew",
                        "attacker_strategy", "reprobe_interval"):
         value = getattr(args, field_name)
         if value is not None:
@@ -135,7 +141,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         if overrides:
             spec = spec.evolve(**overrides)
         result = Session(spec).run()
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, NumpyUnavailableError) as exc:
         raise SystemExit(f"scenario {spec.name!r}: {exc}")
     print(result.render())
     if args.csv is not None:
@@ -187,7 +193,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         if overrides:
             spec = spec.evolve(**overrides)
         result = FleetSession(spec).run()
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, NumpyUnavailableError) as exc:
         raise SystemExit(f"fleet {spec.name!r}: {exc}")
     print(result.render())
     if args.csv is not None:
@@ -262,6 +268,17 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="rebalance_interval",
                           help="PMD auto-load-balance interval in seconds "
                           "(0 = static RSS; default: the profile's)")
+    scenario.add_argument("--rebalance-improvement", type=float, default=None,
+                          dest="rebalance_improvement",
+                          help="minimum relative imbalance improvement "
+                          "(0..1) before the auto-lb applies a remap "
+                          "(needs a sharded datapath; default: the "
+                          "profile's)")
+    scenario.add_argument("--rebalance-load-floor", type=float, default=None,
+                          dest="rebalance_load_floor",
+                          help="per-PMD load (packets/s) below which the "
+                          "auto-lb leaves the spread alone (needs a sharded "
+                          "datapath; default: the profile's)")
     scenario.add_argument("--workload-skew", type=float, default=None,
                           dest="workload_skew",
                           help="Zipf skew of the victim's per-bucket load "

@@ -57,6 +57,7 @@ def switch_for_profile(
     seed: int = 0,
     scan_order: str | None = None,
     key_mode: str = "packed",
+    switch_cls: type[OvsSwitch] = OvsSwitch,
 ) -> OvsSwitch:
     """Instantiate a switch configured per a datapath profile.
 
@@ -66,10 +67,12 @@ def switch_for_profile(
     dpcls subtable ranking.  ``scan_order=None`` takes the profile's
     default; a string overrides it (a :class:`~repro.scenario.spec.
     ScenarioSpec`'s ``scan_order`` flows through here).
+    ``switch_cls`` picks the engine — :class:`OvsSwitch` or a drop-in
+    subclass such as the vectorized ``repro.vec`` engine.
     """
     if isinstance(profile, str):
         profile = profile_by_name(profile)
-    return OvsSwitch(
+    return switch_cls(
         space=space,
         name=name or f"ovs-{profile.name}",
         flow_limit=profile.flow_limit,
@@ -97,6 +100,7 @@ def sharded_switch_for_profile(
     rebalance_interval: float | None = None,
     rebalance_improvement: float | None = None,
     rebalance_load_floor: float | None = None,
+    switch_cls: type[OvsSwitch] = OvsSwitch,
 ) -> ShardedDatapath:
     """A multi-PMD datapath: ``shards`` independent per-profile switches
     behind the RETA dispatcher (``shards=0`` takes the profile's own
@@ -138,5 +142,6 @@ def sharded_switch_for_profile(
             seed=shard_seed(seed, i),
             scan_order=scan_order,
             key_mode=key_mode,
+            switch_cls=switch_cls,
         ),
     )

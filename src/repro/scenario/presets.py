@@ -124,6 +124,31 @@ SCENARIOS.register(
     ),
 )
 SCENARIOS.register(
+    "calico-vec",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-vec",
+        backend="ovs-vec",
+        duration=120.0,
+        attack_start=30.0,
+        description="the 8192-mask attack on the columnar vectorized "
+        "engine (bit-identical to 'calico', just faster)",
+    ),
+)
+SCENARIOS.register(
+    "calico-vec-pmd4",
+    ScenarioSpec(
+        surface="calico",
+        name="calico-vec-pmd4",
+        backend="ovs-vec",
+        profile="netdev-pmd4",
+        duration=120.0,
+        attack_start=30.0,
+        description="the 8192-mask attack vs 4 RSS-sharded vectorized "
+        "PMD datapaths",
+    ),
+)
+SCENARIOS.register(
     "calico-netdev-pmd4",
     ScenarioSpec(
         surface="calico",

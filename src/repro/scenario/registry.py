@@ -348,14 +348,36 @@ def _detector(threshold: int = 64, respond_delay: float = 20.0) -> DefenseAgent:
 
 #: a backend builder:
 #: (profile, space, name, seed, staged, scan_order, key_mode, shards,
-#: reta_size, rebalance_interval) -> Datapath.  ``shards`` /
-#: ``reta_size`` / ``rebalance_interval`` resolve as spec override or
-#: profile default; builders without a sharded variant must reject
-#: shards > 1 (and a requested rebalance) rather than silently ignore
-#: the axis.
+#: reta_size, rebalance_interval, rebalance_improvement,
+#: rebalance_load_floor) -> Datapath.  ``shards`` / ``reta_size`` /
+#: the ``rebalance_*`` knobs resolve as spec override or profile
+#: default; builders without a sharded variant must reject shards > 1
+#: (and a requested rebalance) rather than silently ignore the axis.
 BackendBuilder = Callable[..., Datapath]
 
 BACKENDS: Registry[BackendBuilder] = Registry("datapath backend")
+
+
+def _reject_unsharded_rebalance(
+    backend: str,
+    rebalance_improvement: float | None,
+    rebalance_load_floor: float | None,
+) -> None:
+    """Fail loudly when auto-lb tuning knobs reach a datapath with no
+    rebalancer (one shard, or no shards at all) — they would otherwise
+    be silently ignored, the plumbing gap this validation closes."""
+    if rebalance_improvement:
+        raise ValueError(
+            f"rebalance_improvement tunes the multi-PMD auto-lb; the "
+            f"{backend} datapath being built has no rebalancer (need "
+            "shards > 1, or the 'sharded' backend)"
+        )
+    if rebalance_load_floor:
+        raise ValueError(
+            f"rebalance_load_floor tunes the multi-PMD auto-lb; the "
+            f"{backend} datapath being built has no rebalancer (need "
+            "shards > 1, or the 'sharded' backend)"
+        )
 
 
 @BACKENDS.register("ovs")
@@ -363,17 +385,62 @@ def _ovs_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                  seed: int = 0, staged: bool = False, scan_order: str = "",
                  key_mode: str = "packed", shards: int = 1,
                  reta_size: int = 0,
-                 rebalance_interval: float | None = None) -> Datapath:
+                 rebalance_interval: float | None = None,
+                 rebalance_improvement: float | None = None,
+                 rebalance_load_floor: float | None = None) -> Datapath:
     if shards > 1:
         return sharded_switch_for_profile(
             profile, space=space, name=name, shards=shards,
             staged_lookup=staged, seed=seed, scan_order=scan_order or None,
             key_mode=key_mode, reta_size=reta_size,
             rebalance_interval=rebalance_interval,
+            rebalance_improvement=rebalance_improvement,
+            rebalance_load_floor=rebalance_load_floor,
         )
+    _reject_unsharded_rebalance(
+        "ovs (shards=1)", rebalance_improvement, rebalance_load_floor
+    )
     return switch_for_profile(
         profile, space=space, name=name, staged_lookup=staged, seed=seed,
         scan_order=scan_order or None, key_mode=key_mode,
+    )
+
+
+@BACKENDS.register("ovs-vec")
+def _ovs_vec_backend(profile: DatapathProfile, space: FieldSpace, name: str,
+                     seed: int = 0, staged: bool = False, scan_order: str = "",
+                     key_mode: str = "packed", shards: int = 1,
+                     reta_size: int = 0,
+                     rebalance_interval: float | None = None,
+                     rebalance_improvement: float | None = None,
+                     rebalance_load_floor: float | None = None) -> Datapath:
+    """The columnar vectorized engine (:mod:`repro.vec`) — bit-identical
+    to ``ovs`` with the same arguments, just faster on bursts.  The
+    import is deferred so listing backends works without NumPy; asking
+    for this backend without it raises a clear
+    :class:`~repro.vec.NumpyUnavailableError`."""
+    from repro.vec import require_numpy
+
+    require_numpy("the ovs-vec backend")
+    from repro.vec.engine import VecSwitch
+
+    if shards > 1:
+        return sharded_switch_for_profile(
+            profile, space=space, name=name, shards=shards,
+            staged_lookup=staged, seed=seed, scan_order=scan_order or None,
+            key_mode=key_mode, reta_size=reta_size,
+            rebalance_interval=rebalance_interval,
+            rebalance_improvement=rebalance_improvement,
+            rebalance_load_floor=rebalance_load_floor,
+            switch_cls=VecSwitch,
+        )
+    _reject_unsharded_rebalance(
+        "ovs-vec (shards=1)", rebalance_improvement, rebalance_load_floor
+    )
+    return switch_for_profile(
+        profile, space=space, name=name, staged_lookup=staged, seed=seed,
+        scan_order=scan_order or None, key_mode=key_mode,
+        switch_cls=VecSwitch,
     )
 
 
@@ -382,7 +449,9 @@ def _sharded_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                      seed: int = 0, staged: bool = False, scan_order: str = "",
                      key_mode: str = "packed", shards: int = 1,
                      reta_size: int = 0,
-                     rebalance_interval: float | None = None) -> Datapath:
+                     rebalance_interval: float | None = None,
+                     rebalance_improvement: float | None = None,
+                     rebalance_load_floor: float | None = None) -> Datapath:
     """The multi-PMD datapath, explicitly — even at ``shards=1``, where
     it is observationally identical to the ``ovs`` backend (the
     equivalence the test suite pins)."""
@@ -391,6 +460,8 @@ def _sharded_backend(profile: DatapathProfile, space: FieldSpace, name: str,
         staged_lookup=staged, seed=seed, scan_order=scan_order or None,
         key_mode=key_mode, reta_size=reta_size,
         rebalance_interval=rebalance_interval,
+        rebalance_improvement=rebalance_improvement,
+        rebalance_load_floor=rebalance_load_floor,
     )
 
 
@@ -399,6 +470,8 @@ def _ovs_tuple_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                        seed: int = 0, staged: bool = False, scan_order: str = "",
                        shards: int = 1, reta_size: int = 0,
                        rebalance_interval: float | None = None,
+                       rebalance_improvement: float | None = None,
+                       rebalance_load_floor: float | None = None,
                        **_ignored) -> Datapath:
     """The tuple-keyed reference TSS (the packed fast path's checked
     baseline) — run any scenario through it to cross-validate results.
@@ -410,7 +483,12 @@ def _ovs_tuple_backend(profile: DatapathProfile, space: FieldSpace, name: str,
             staged_lookup=staged, seed=seed, scan_order=scan_order or None,
             key_mode="tuple", reta_size=reta_size,
             rebalance_interval=rebalance_interval,
+            rebalance_improvement=rebalance_improvement,
+            rebalance_load_floor=rebalance_load_floor,
         )
+    _reject_unsharded_rebalance(
+        "ovs-tuple (shards=1)", rebalance_improvement, rebalance_load_floor
+    )
     return switch_for_profile(
         profile, space=space, name=name, staged_lookup=staged, seed=seed,
         scan_order=scan_order or None, key_mode="tuple",
@@ -422,7 +500,9 @@ def _cacheless_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                        seed: int = 0, staged: bool = False, scan_order: str = "",
                        key_mode: str = "packed", shards: int = 1,
                        reta_size: int = 0,
-                       rebalance_interval: float | None = None) -> Datapath:
+                       rebalance_interval: float | None = None,
+                       rebalance_improvement: float | None = None,
+                       rebalance_load_floor: float | None = None) -> Datapath:
     if shards > 1:
         raise ValueError(
             "the cacheless backend has no sharded variant (its per-packet "
@@ -433,4 +513,7 @@ def _cacheless_backend(profile: DatapathProfile, space: FieldSpace, name: str,
             "the cacheless backend has no PMD shards to rebalance; "
             "leave rebalance_interval unset (or 0)"
         )
+    _reject_unsharded_rebalance(
+        "cacheless", rebalance_improvement, rebalance_load_floor
+    )
     return CachelessDatapath(space, name=name)

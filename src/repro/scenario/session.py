@@ -253,6 +253,16 @@ class Session:
                 if self.spec.rebalance_interval is None
                 else self.spec.rebalance_interval
             ),
+            rebalance_improvement=(
+                self.profile.rebalance_improvement
+                if self.spec.rebalance_improvement is None
+                else self.spec.rebalance_improvement
+            ),
+            rebalance_load_floor=(
+                self.profile.rebalance_load_floor
+                if self.spec.rebalance_load_floor is None
+                else self.spec.rebalance_load_floor
+            ),
         )
         for defense in self.defenses:
             defense.attach(datapath)

@@ -1,0 +1,71 @@
+"""The columnar vectorized datapath engine (the ``ovs-vec`` backend).
+
+The paper's attack inflates the megaflow mask count so every cache miss
+degenerates into a long linear subtable scan; everything this repo
+measures is bounded by how fast that scan executes.  The packed-key
+fast path made one lookup a single ``packed & mask`` on Python ints —
+this package lifts the *whole batch* into NumPy: flow keys become rows
+of a ``uint64`` lane array (one pack per batch, reusing the
+:class:`~repro.flow.fields.FieldSpace` bit offsets), every megaflow
+entry becomes one column of a dense lane-major mirror in scan order,
+and a burst lookup screens whole (key, column) blocks with a single
+mixed ``uint64`` fingerprint compare per cell, confirming each claimed
+match exactly before it counts.
+
+NumPy is a declared dependency, but the package degrades gracefully
+without it: importing :mod:`repro.vec` always succeeds, ``HAVE_NUMPY``
+says whether the engine is usable, and :func:`require_numpy` raises a
+:class:`NumpyUnavailableError` with install guidance — the registry
+builder and CLI surface that as a clear error instead of a traceback.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via the HAVE_NUMPY flag
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "NumpyUnavailableError",
+    "require_numpy",
+    "LaneCodec",
+    "VecEmcStore",
+    "VecSubtable",
+    "VecSwitch",
+    "VecTupleSpaceSearch",
+]
+
+
+class NumpyUnavailableError(RuntimeError):
+    """The ``ovs-vec`` engine was requested but NumPy is not installed."""
+
+
+def require_numpy(what: str = "the vec columnar engine"):
+    """Return the ``numpy`` module, or raise a clear, actionable error.
+
+    Every entry point into the vectorized engine funnels through here so
+    a missing NumPy yields one well-worded failure instead of an
+    ImportError deep inside a registry builder.
+    """
+    if not HAVE_NUMPY:
+        raise NumpyUnavailableError(
+            f"{what} requires NumPy, which is not installed; "
+            "install it (pip install numpy) or pick the 'ovs' backend"
+        )
+    return _np
+
+
+def __getattr__(name: str):
+    # lazy re-exports: importing repro.vec must stay numpy-free so
+    # `repro scenario --list` works (and degrades gracefully) without it
+    if name in ("LaneCodec", "VecEmcStore", "VecSubtable", "VecSwitch",
+                "VecTupleSpaceSearch"):
+        from repro.vec import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -17,6 +17,7 @@ from repro.flow.key import FlowKey
 from repro.ovs.switch import OvsSwitch
 from repro.perf.factory import switch_for_profile
 from repro.scenario.datapath import CachelessDatapath
+from repro.vec import HAVE_NUMPY
 
 
 def _loaded_switch():
@@ -231,6 +232,65 @@ class TestTssLookupBatch:
     def test_empty_burst(self):
         tss, _covert = self._tss_with_keys()
         assert tss.lookup_batch([]) == []
+
+
+class TestVecBatchEquivalence:
+    """The ``ovs-vec`` columnar engine must be observationally identical
+    to the reference switch on the same traffic — results, stats, mask
+    pvector, TSS counters and EMC occupancy — across the same
+    configuration matrix the batch pipeline is held to (including the
+    duplicate-heavy victim interleave in ``_traffic``)."""
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"scan_order": "ranked", "resort_interval": 7},
+            {"scan_order": "ranked", "resort_interval": 1},
+            {"staged_lookup": True},
+            {"emc_entries": 8, "emc_ways": 1},
+        ],
+        ids=["plain", "ranked-resort7", "ranked-resort1", "staged",
+             "tiny-emc"],
+    )
+    def test_vec_equals_reference(self, kwargs):
+        from repro.vec.engine import VecSwitch
+
+        ref, dimensions = _custom_switch(**kwargs)
+        vec = VecSwitch(space=OVS_FIELDS, name="batch-eq", **kwargs)
+        policy, _ = kubernetes_attack_policy()
+        target = PolicyTarget(
+            pod_ip=ip_to_int("10.0.9.10"), output_port=42, tenant="mallory"
+        )
+        vec.add_rules(KubernetesCms().compile(policy, target, OVS_FIELDS))
+        keys = _traffic(dimensions)
+        keys = keys + keys[: len(keys) // 2]  # duplicate-heavy tail
+
+        now = 1.0
+        ref_results = []
+        vec_results = []
+        for start in range(0, len(keys), 41):
+            chunk = keys[start:start + 41]
+            ref_results.extend(ref.process_batch(chunk, now=now).results)
+            vec_results.extend(vec.process_batch(chunk, now=now).results)
+            now += 0.25
+
+        assert [_result_fields(r) for r in ref_results] == [
+            _result_fields(r) for r in vec_results
+        ]
+        assert dataclasses.asdict(ref.stats) == dataclasses.asdict(vec.stats)
+        assert ref.mask_count == vec.mask_count
+        assert ref.megaflow_count == vec.megaflow_count
+        rt, vt = ref.megaflow.tss, vec.megaflow.tss
+        assert rt.total_lookups == vt.total_lookups
+        assert rt.total_tuples_scanned == vt.total_tuples_scanned
+        assert rt.total_hash_probes == vt.total_hash_probes
+        assert rt.resorts == vt.resorts
+        assert [s.masks for s in rt.subtables()] == [
+            s.masks for s in vt.subtables()
+        ]
+        assert ref.microflow.occupancy == vec.microflow.occupancy
 
 
 class TestCachelessBatch:

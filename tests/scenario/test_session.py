@@ -274,6 +274,71 @@ class TestRebalanceSessions:
             ScenarioSpec(surface="k8s", workload_skew=-0.5)
 
 
+class TestAutoLbTuningKnobs:
+    """The pmd-auto-lb trigger knobs (improvement threshold and load
+    floor) must flow spec → builder → rebalancer, round-trip through
+    the dict form, and fail loudly on datapaths with no rebalancer."""
+
+    def test_knobs_reach_the_rebalancer(self):
+        session = Session(
+            ScenarioSpec(
+                surface="k8s",
+                backend="sharded",
+                shards=4,
+                rebalance_interval=2.0,
+                rebalance_improvement=0.25,
+                rebalance_load_floor=123.0,
+            )
+        )
+        rebalancer = session.build_datapath().rebalancer
+        assert rebalancer.improvement_threshold == 0.25
+        assert rebalancer.load_floor == 123.0
+
+    def test_unset_knobs_defer_to_the_profile(self):
+        session = Session(
+            ScenarioSpec(surface="k8s", profile="netdev-pmd4-alb")
+        )
+        rebalancer = session.build_datapath().rebalancer
+        profile = session.profile
+        assert rebalancer.improvement_threshold == \
+            profile.rebalance_improvement
+        assert rebalancer.load_floor == profile.rebalance_load_floor
+
+    def test_spec_round_trips_and_defaults_are_omitted(self):
+        spec = ScenarioSpec(
+            surface="k8s",
+            backend="sharded",
+            shards=4,
+            rebalance_improvement=0.1,
+            rebalance_load_floor=50.0,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        bare = ScenarioSpec(surface="k8s").to_dict()
+        assert "rebalance_improvement" not in bare
+        assert "rebalance_load_floor" not in bare
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(surface="k8s", rebalance_improvement=-0.1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(surface="k8s", rebalance_load_floor=-5.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "ovs", "rebalance_improvement": 0.2},
+            {"backend": "ovs", "rebalance_load_floor": 10.0},
+            {"backend": "cacheless", "rebalance_improvement": 0.2},
+            {"backend": "ovs-tuple", "rebalance_load_floor": 10.0},
+        ],
+        ids=["ovs-improvement", "ovs-floor", "cacheless", "ovs-tuple"],
+    )
+    def test_rebalancerless_datapaths_reject_the_knobs(self, kwargs):
+        spec = ScenarioSpec(surface="k8s", **kwargs)
+        with pytest.raises(ValueError, match="rebalance"):
+            Session(spec).build_datapath()
+
+
 class TestCliScenario:
     def test_list(self, capsys):
         assert main(["scenario", "--list"]) == 0
