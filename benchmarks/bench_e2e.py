@@ -1,0 +1,212 @@
+"""Wall-clock: the batch-first end-to-end campaign (``ovs-vec``) vs the
+scalar reference, with a built-in bit-identity gate.
+
+The workload is the **512-mask victim-deep-scan campaign** (the
+``k8s-deepscan`` preset): the k8s attack surface on the
+``kernel-noemc`` profile (EMC insertion off — the documented operator
+response to cache thrashing) with ``covert_replay="datapath"``, so
+every simulated tick assembles its ~3.9k due covert packets into one
+coalesced burst and pushes it through the switch's real
+``process_batch`` pipeline.  The scalar backend pays one Python dict
+probe per key per subtable on that burst; the columnar backend scans
+it in fingerprint blocks.  The whole campaign is timed end to end —
+slow-path install, victim refresh, covert replay, series sampling —
+which is exactly what the wall-clock-bound presets (fleet runs,
+degradation sweeps) pay.
+
+Two gates, both of which exit non-zero (failing CI) when violated:
+
+1. **Speedup**: the vectorized campaign must finish **>= 3x** faster
+   than the scalar reference (best-of-``--repeats`` wall clock).
+2. **Equivalence**: the vectorized campaign's full time series must be
+   bit-identical to the scalar one — every row of every column — and a
+   one-node static fleet wrapped around the same scenario must
+   reproduce the plain Session series row for row on *both* backends.
+
+Emits a ``BENCH_e2e.json`` perf record.  Fields:
+
+- ``params``: campaign shape (duration, attack start, repeats, seed,
+  the 512-mask expectation and the speedup target);
+- ``final_masks``: megaflow masks at campaign end per backend (must
+  agree, and reach the 512-mask regime);
+- ``times_sec``: best-of-repeats wall clock per backend;
+- ``ratios.vec_vs_ref_e2e_campaign``: the gated speedup;
+- ``equivalence_ok`` / ``equivalence_problems``: the identity gate;
+- ``speedup_ok``: the wall-clock gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e2e.py          # full
+    PYTHONPATH=src python benchmarks/bench_e2e.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet import FleetSession, FleetSpec  # noqa: E402
+from repro.scenario import SCENARIOS, Session  # noqa: E402
+from repro.vec import HAVE_NUMPY  # noqa: E402
+
+#: the tentpole's end-to-end speedup floor on the deep-scan campaign
+SPEEDUP_TARGET = 3.0
+
+#: the campaign must actually reach the paper's 512-mask regime
+EXPECTED_MASKS = 512
+
+
+def _spec(backend: str, duration: float, attack_start: float):
+    return SCENARIOS.get("k8s-deepscan").evolve(
+        backend=backend,
+        duration=duration,
+        attack_start=attack_start,
+        name=f"e2e-{backend}",
+    )
+
+
+def run_campaign(backend: str, duration: float, attack_start: float):
+    """One full Session run; returns (result, wall_seconds)."""
+    spec = _spec(backend, duration, attack_start)
+    begin = time.perf_counter()
+    result = Session(spec).run()
+    return result, time.perf_counter() - begin
+
+
+def check_equivalence(duration: float, attack_start: float,
+                      results: dict) -> list[str]:
+    """The identity gate: the vec campaign must be bit-identical to the
+    scalar one, and a one-node static fleet must reproduce the plain
+    Session series on both backends.  Returns mismatch descriptions
+    (empty = bit-identical)."""
+    problems: list[str] = []
+    ref, vec = results["ovs"], results["ovs-vec"]
+    if ref.series.columns != vec.series.columns:
+        problems.append("simulator series columns differ")
+    elif ref.series.rows != vec.series.rows:
+        for i, (a, b) in enumerate(zip(ref.series.rows, vec.series.rows)):
+            if a != b:
+                problems.append(
+                    f"simulator series rows diverge at tick {i}"
+                )
+                break
+        else:
+            problems.append("simulator series row counts differ")
+    if ref.final_mask_count() != vec.final_mask_count():
+        problems.append(
+            f"final mask counts differ: {ref.final_mask_count()} != "
+            f"{vec.final_mask_count()}"
+        )
+
+    # the N=1 fleet anchor, on a short copy of the same campaign: the
+    # fleet layer is pure orchestration, so one static node IS the
+    # plain Session run, row for row, on either backend
+    fleet_rows = {}
+    for backend in ("ovs", "ovs-vec"):
+        spec = _spec(backend, duration, attack_start)
+        plain = Session(spec).run()
+        fleet = FleetSession(
+            FleetSpec(scenario=spec, nodes=1, mobility="static")
+        ).run()
+        if fleet.node_series[0].columns != plain.series.columns:
+            problems.append(f"[{backend}] N=1 fleet series columns differ")
+        elif fleet.node_series[0].rows != plain.series.rows:
+            problems.append(
+                f"[{backend}] N=1 fleet series is not the Session series"
+            )
+        fleet_rows[backend] = fleet.node_series[0].rows
+    if fleet_rows["ovs"] != fleet_rows["ovs-vec"]:
+        problems.append("N=1 fleet series differ between backends")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="campaign seconds (default 40, quick 20)")
+    parser.add_argument("--attack-start", type=float, default=None,
+                        help="attack onset (default 5, quick 4)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed runs per backend (best-of)")
+    parser.add_argument("--output", type=Path, default=Path("BENCH_e2e.json"))
+    args = parser.parse_args(argv)
+
+    if not HAVE_NUMPY:
+        print("bench_e2e: numpy is not installed — the vectorized "
+              "backend cannot run, skipping (no gate evaluated)")
+        args.output.write_text(json.dumps(
+            {"benchmark": "e2e_batch_first", "skipped": "no numpy"},
+            indent=2,
+        ) + "\n")
+        return 0
+
+    duration = args.duration or (20.0 if args.quick else 40.0)
+    attack_start = args.attack_start or (4.0 if args.quick else 5.0)
+    fleet_duration = min(duration, 14.0)
+
+    times: dict[str, float] = {}
+    results: dict[str, object] = {}
+    masks: dict[str, int] = {}
+    for backend in ("ovs", "ovs-vec"):
+        best = float("inf")
+        for _ in range(max(1, args.repeats)):
+            result, elapsed = run_campaign(backend, duration, attack_start)
+            best = min(best, elapsed)
+        times[backend] = best
+        results[backend] = result
+        masks[backend] = result.final_mask_count()
+        print(f"{backend:8s} campaign  {best:8.2f} s  "
+              f"({masks[backend]} masks)")
+
+    problems = check_equivalence(fleet_duration, attack_start, results)
+    if problems:
+        print("e2e equivalence FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+    else:
+        print("e2e equivalence: ok (simulator series + N=1 fleet)")
+
+    speedup = times["ovs"] / times["ovs-vec"]
+    masks_ok = all(count >= EXPECTED_MASKS for count in masks.values())
+    speedup_ok = speedup >= SPEEDUP_TARGET and masks_ok
+
+    record = {
+        "benchmark": "e2e_batch_first",
+        "quick": args.quick,
+        "params": {
+            "scenario": "k8s-deepscan",
+            "duration": duration,
+            "attack_start": attack_start,
+            "repeats": args.repeats,
+            "expected_masks": EXPECTED_MASKS,
+            "speedup_target": SPEEDUP_TARGET,
+        },
+        "final_masks": masks,
+        "times_sec": times,
+        "ratios": {"vec_vs_ref_e2e_campaign": speedup},
+        "equivalence_ok": not problems,
+        "equivalence_problems": problems,
+        "speedup_ok": speedup_ok,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"\nwrote {args.output}")
+    print(f"  vec_vs_ref_e2e_campaign: {speedup:.2f}x")
+    if not masks_ok:
+        print(f"mask regime check FAILED: {masks} "
+              f"(expected >= {EXPECTED_MASKS})")
+    if speedup < SPEEDUP_TARGET:
+        print(f"speedup gate FAILED: {speedup:.2f}x < "
+              f"{SPEEDUP_TARGET:.0f}x")
+    return 1 if (problems or not speedup_ok) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,6 +85,7 @@ class AttackCampaign:
         attacker_strategy: str = "naive",
         reprobe_interval: float = 0.0,
         reprobe_tries: int = 128,
+        covert_replay: str = "model",
     ) -> None:
         if attacker_strategy not in ("naive", "spread"):
             raise ValueError(
@@ -118,6 +119,9 @@ class AttackCampaign:
         self.attacker_strategy = attacker_strategy
         self.reprobe_interval = reprobe_interval
         self.reprobe_tries = reprobe_tries
+        #: "model" | "datapath" — forwarded to the simulator (see
+        #: :class:`~repro.perf.simulator.DataplaneSimulator`)
+        self.covert_replay = covert_replay
         self.generator = CovertStreamGenerator(
             dimensions, dst_ip=attacker_pod_ip, space=space
         )
@@ -236,6 +240,7 @@ class AttackCampaign:
             workload_seed=self.seed,
             covert_refresh=covert_refresh,
             reprobe_interval=self.reprobe_interval,
+            covert_replay=self.covert_replay,
         )
 
     def run(self, extra_events=()) -> CampaignReport:

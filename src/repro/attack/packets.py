@@ -188,6 +188,31 @@ class CovertStreamGenerator:
         """The full adversarial key sequence (one per target mask)."""
         return covert_keys_for_dimensions(self.dimensions, self.pinned_fields(), self.space)
 
+    def burst(self):
+        """:meth:`keys` as a pre-packed
+        :class:`~repro.perf.burst.KeyBurst` — the batch-first pipeline's
+        unit of traffic (packed ints and RSS buckets derived once,
+        cyclic lap slicing instead of per-packet indexing)."""
+        from repro.perf.burst import KeyBurst
+
+        return KeyBurst(self.keys())
+
+    def spread_burst(
+        self,
+        shards: int,
+        shard_of: Callable[[FlowKey], int],
+        max_tries_per_shard: int = 32,
+    ):
+        """:meth:`spread_keys` as a pre-packed
+        :class:`~repro.perf.burst.KeyBurst` (see :meth:`burst`)."""
+        from repro.perf.burst import KeyBurst
+
+        return KeyBurst(
+            self.spread_keys(
+                shards, shard_of, max_tries_per_shard=max_tries_per_shard
+            )
+        )
+
     def spread_keys(
         self,
         shards: int,

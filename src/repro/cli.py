@@ -94,10 +94,29 @@ def cmd_craft(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_tag(backend: str) -> str:
+    """The per-preset backend annotation for the ``--list`` views:
+    which engine the preset runs on and whether it wants NumPy."""
+    if backend == "ovs-vec":
+        state = "numpy installed" if HAVE_NUMPY else "NUMPY MISSING"
+        return f"[{backend}: needs numpy — {state}]"
+    if backend == "ovs-vec-auto":
+        state = (
+            "numpy installed: vectorized"
+            if HAVE_NUMPY
+            else "no numpy: scalar fallback"
+        )
+        return f"[{backend}: {state}]"
+    return f"[{backend}]"
+
+
 def _print_scenario_list() -> None:
     print("scenarios:")
     for name, spec in SCENARIOS.items():
-        print(f"  {name:24s} {spec.description or spec.surface}")
+        print(
+            f"  {name:24s} {_backend_tag(spec.backend):44s} "
+            f"{spec.description or spec.surface}"
+        )
     print("\nsurfaces:")
     for name, surface in SURFACES.items():
         print(f"  {name:24s} {surface.description}")
@@ -157,7 +176,10 @@ def _print_fleet_list() -> None:
 
     print("fleet campaigns:")
     for name, spec in FLEETS.items():
-        print(f"  {name:24s} {spec.description or spec.scenario.surface}")
+        print(
+            f"  {name:24s} {_backend_tag(spec.scenario.backend):44s} "
+            f"{spec.description or spec.scenario.surface}"
+        )
     print("\nmobility:        " + ", ".join(MOBILITY.names()))
     print("fleet defenses:  " + ", ".join(FLEET_DEFENSES))
     print("per-node axes:   any scenario spec (see 'repro scenario --list')")

@@ -101,8 +101,12 @@ class MicroflowCache:
         """Admit a key (subject to probabilistic insertion); evicts the
         least-recently-used slot of a full set.  Returns True when the
         entry was actually stored."""
-        if self.insertion_prob < 1.0 and self.rng.random() >= self.insertion_prob:
-            return False
+        if self.insertion_prob < 1.0:
+            # prob 0.0 means "EMC insertion disabled" (the documented
+            # operator mitigation): no draw can ever admit, so skip the
+            # RNG entirely — nothing else consumes this fork
+            if self.insertion_prob <= 0.0 or self.rng.random() >= self.insertion_prob:
+                return False
         bucket = self._sets[self._set_index(key)]
         for slot in bucket:
             if slot.key == key:

@@ -49,7 +49,7 @@ class LookupPath(enum.Enum):
     CACHELESS = "cacheless"
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketResult:
     """Outcome and cost accounting for one processed packet."""
 
@@ -83,6 +83,10 @@ class BatchResult:
     forwarded: int = 0
     drops: int = 0
     upcalls: int = 0
+    #: packets served by the exact-match (microflow) layer
+    emc_hits: int = 0
+    #: packets served by the megaflow (TSS) layer
+    megaflow_hits: int = 0
 
     def add(self, result: PacketResult) -> None:
         """Fold one packet's outcome into the aggregates."""
@@ -95,6 +99,10 @@ class BatchResult:
             self.drops += 1
         if result.path is LookupPath.UPCALL:
             self.upcalls += 1
+        elif result.path is LookupPath.MICROFLOW:
+            self.emc_hits += 1
+        elif result.path is LookupPath.MEGAFLOW:
+            self.megaflow_hits += 1
 
     def __len__(self) -> int:
         return len(self.results)
@@ -150,6 +158,12 @@ class OvsSwitch:
         #: is clamped), so idle accounting and revalidator sweeps can
         #: never be un-expired by an out-of-order caller
         self.clock = 0.0
+        #: the adaptive TSS chunk window, persisted across runs: chunk
+        #: size is semantically free (``lookup_batch`` returns a prefix
+        #: that stops at the first miss), so a hit-heavy steady state
+        #: keeps its large window between bursts instead of re-ramping
+        #: from one key every run
+        self._batch_window = 1
 
     # -- configuration -----------------------------------------------------
 
@@ -231,8 +245,10 @@ class OvsSwitch:
         keys the EMC may already hold (their outcome depends on the
         run's pending inserts), at duplicates within the run, and at
         every TSS miss (the upcall mutates the tuple space).  Chunks
-        ramp up from one key and reset on a miss, so miss-heavy bursts
-        degrade gracefully to exactly the per-key work.  As with
+        ramp up from one key, reset on a miss, and keep their size
+        across runs, so miss-heavy bursts degrade gracefully to exactly
+        the per-key work while hit-heavy steady states scan whole runs
+        in one chunk.  As with
         :meth:`process`, a stale ``now`` is clamped to the monotonic
         clock.
         """
@@ -261,9 +277,12 @@ class OvsSwitch:
     def _flush_run(self, run: list[FlowKey], run_set: set[FlowKey],
                    batch: BatchResult, now: float) -> None:
         """Drain a run of EMC-missed keys through the TSS in bucketed
-        chunks, falling back to chunk-of-one around upcalls."""
+        chunks, falling back to chunk-of-one around upcalls.  The chunk
+        window carries over between runs: every chunk is validated by
+        the prefix contract regardless of its size, so the ramp is a
+        pure cost heuristic — misses shrink it, clean chunks grow it."""
         start = 0
-        window = 1
+        window = self._batch_window
         n = len(run)
         while start < n:
             chunk = run[start:start + window]
@@ -280,6 +299,7 @@ class OvsSwitch:
                 window = 1  # the upcall mutated the TSS: re-probe small
             elif len(results) == len(chunk):
                 window = min(window * 2, self.MAX_BATCH_WINDOW)
+        self._batch_window = window
         run.clear()
         run_set.clear()
 
@@ -296,9 +316,16 @@ class OvsSwitch:
         self._account(result)
         return result
 
+    def _note_emc_insert(self, key: FlowKey) -> None:
+        """Hook: a key was just *stored* in the microflow cache.  The
+        base pipeline needs no bookkeeping; the columnar engine overlays
+        the key onto its membership mirror so the next batched EMC probe
+        stays a superset of the live cache."""
+
     def _finish_megaflow_hit(self, key: FlowKey, tss_result, now: float) -> PacketResult:
         megaflow_entry: MegaflowEntry = tss_result.entry  # type: ignore[assignment]
-        self.microflow.insert(key, megaflow_entry, now)
+        if self.microflow.insert(key, megaflow_entry, now):
+            self._note_emc_insert(key)
         result = PacketResult(
             action=megaflow_entry.action,
             path=LookupPath.MEGAFLOW,
@@ -314,7 +341,8 @@ class OvsSwitch:
     def _finish_upcall(self, key: FlowKey, tss_result, now: float) -> PacketResult:
         upcall = self.slow_path.handle(key, now)
         if upcall.installed is not None:
-            self.microflow.insert(key, upcall.installed, now)
+            if self.microflow.insert(key, upcall.installed, now):
+                self._note_emc_insert(key)
         result = PacketResult(
             action=upcall.action,
             path=LookupPath.UPCALL,

@@ -69,7 +69,7 @@ SCAN_ORDERS = ("insertion", "hits", "ranked")
 KEY_MODES = ("packed", "tuple")
 
 
-@dataclass
+@dataclass(slots=True)
 class TssLookupResult:
     """One TSS lookup's outcome and its cost accounting."""
 
@@ -131,6 +131,15 @@ class Subtable:
         """Record one lookup hit (cumulative + ranking counters)."""
         self.hits += 1
         self.rank_hits += 1
+
+    def credit_hits(self, n: int) -> None:
+        """Record ``n`` lookup hits at once — the batched consume loops
+        group consecutive hits on the same subtable and credit them in
+        one call.  Integer adds, so exactly equivalent to ``n``
+        :meth:`credit_hit` calls (``rank_hits`` may be a float after a
+        ranked re-sort halving; adding an int keeps it exact)."""
+        self.hits += n
+        self.rank_hits += n
 
     def insert(self, masked_values: tuple[int, ...], entry: object) -> None:
         """Add or replace the entry stored under ``masked_values``."""

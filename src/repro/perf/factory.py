@@ -35,9 +35,19 @@ NETDEV_PMD4_ALB_PROFILE = replace(
     NETDEV_PMD4_PROFILE, name="netdev-pmd4-alb", rebalance_interval=5.0
 )
 
+#: the kernel datapath with EMC insertion disabled (the documented
+#: ``emc-insert-inv-prob=0`` operating point: under a mask-exploding
+#: attack the thrashing exact-match cache is pure overhead, so
+#: operators turn it off and every packet goes straight to the megaflow
+#: scan — the worst-case regime the deep-scan benchmarks measure)
+KERNEL_NOEMC_PROFILE = replace(
+    KERNEL_PROFILE, name="kernel-noemc", emc_insertion_prob=0.0
+)
+
 #: the datapath-profile registry (string-keyed, scenario-addressable)
 PROFILES: Registry[DatapathProfile] = Registry("datapath profile")
 PROFILES.register("kernel", KERNEL_PROFILE)
+PROFILES.register("kernel-noemc", KERNEL_NOEMC_PROFILE)
 PROFILES.register("netdev", NETDEV_PROFILE)
 PROFILES.register("netdev-ranked", NETDEV_RANKED_PROFILE)
 PROFILES.register("netdev-pmd4", NETDEV_PMD4_PROFILE)

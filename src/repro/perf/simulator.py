@@ -30,7 +30,8 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.flow.key import FlowKey
 from repro.ovs.megaflow import MegaflowEntry
 from repro.ovs.pmd import shard_views
-from repro.ovs.switch import OvsSwitch
+from repro.ovs.switch import BatchResult, LookupPath, OvsSwitch
+from repro.perf.burst import KeyBurst
 from repro.perf.costmodel import CostModel
 
 if TYPE_CHECKING:
@@ -105,6 +106,7 @@ class DataplaneSimulator:
         workload_seed: int = 0,
         covert_refresh: Callable[[], Sequence[FlowKey]] | None = None,
         reprobe_interval: float = 0.0,
+        covert_replay: str = "model",
     ) -> None:
         if attacker is not None and not covert_keys:
             raise ValueError("an attacker workload needs covert_keys")
@@ -112,6 +114,11 @@ class DataplaneSimulator:
             raise ValueError("duration and dt must be positive")
         if reprobe_interval < 0:
             raise ValueError("reprobe_interval must be >= 0 (0 = never)")
+        if covert_replay not in ("model", "datapath"):
+            raise ValueError(
+                "covert_replay must be 'model' or 'datapath', "
+                f"got {covert_replay!r}"
+            )
         self.switch = switch
         self.cost_model = cost_model
         self.victim = victim
@@ -137,6 +144,21 @@ class DataplaneSimulator:
         # build time, the PR 3/4 snapshot behaviour)
         self._covert_refresh = covert_refresh
         self.reprobe_interval = reprobe_interval
+        # how covert packets are replayed each tick:
+        #
+        # * ``"model"`` (default) — the hybrid-fidelity scheme: already-
+        #   installed covert flows refresh their megaflow and are charged
+        #   the *expected* hit cost analytically; only genuine misses run
+        #   the real slow path.  Cheap and the long-standing reference
+        #   semantics.
+        # * ``"datapath"`` — every due covert packet is assembled into
+        #   one coalesced burst per tick and pushed through the real
+        #   ``process_batch`` pipeline (EMC probe, TSS scan, upcalls),
+        #   with cycles charged from the batch's measured aggregates.
+        #   This is the mode whose wall clock actually exercises the
+        #   datapath engine, so the columnar backend's deep-scan speedup
+        #   shows up end-to-end.
+        self.covert_replay = covert_replay
         self.reprobes = 0
         self._last_reprobe = attacker.start_time if attacker is not None else 0.0
         #: the step-driven execution state (:meth:`start` resets both;
@@ -149,6 +171,10 @@ class DataplaneSimulator:
         # the moved flow then re-installs there while its old shard's
         # megaflow idles out (the "stranding" effect of auto-lb)
         self._covert_cursor = 0
+        # the pre-packed covert burst (packed ints, RSS buckets) —
+        # invalidated by identity when ``covert_keys`` is reassigned
+        # (re-probes and fleet control replace the list wholesale)
+        self._covert_burst_cache: KeyBurst | None = None
         self._attacker_entries: dict[tuple[int, FlowKey], MegaflowEntry] = {}
         self._victim_entries: dict[FlowKey, MegaflowEntry] = {}
         # the per-PMD shard views: a sharded datapath exposes its shards
@@ -217,13 +243,23 @@ class DataplaneSimulator:
                 self._attacker_entries.clear()
                 self._victim_entries.clear()
 
+    def _covert_burst(self) -> KeyBurst:
+        """The pre-packed burst over the current covert key list —
+        rebuilt only when the list object itself is replaced."""
+        burst = self._covert_burst_cache
+        if burst is None or burst.keys is not self.covert_keys:
+            burst = KeyBurst(self.covert_keys)
+            self._covert_burst_cache = burst
+        return burst
+
     def _refresh_victim_flows(self, now: float) -> None:
         """Keep the representative victim flows installed and hot (the
         real victim aggregate never goes idle).  Flows without a live
         megaflow go through the pipeline as one batch."""
         stale: list[FlowKey] = []
+        entry_of = self._victim_entries.get
         for key in self.victim_keys:
-            entry = self._victim_entries.get(key)
+            entry = entry_of(key)
             if entry is not None and entry.alive:
                 entry.refresh(now)
             else:
@@ -243,15 +279,20 @@ class DataplaneSimulator:
         damage stays confined to the shards the covert flows reach
         (with one shard this is the whole datapath, as before).
 
-        Packets whose megaflow is already installed only refresh it
-        (entry touch) and are charged the expected megaflow-hit cost.
-        Packets without one are *known* cache misses (the attacker
-        constructs pairwise-distinct covert keys), so instead of paying
-        for a full TSS miss scan in Python they go straight to the real
-        slow path — which performs the genuine classification and
-        megaflow installation — while the skipped scan is charged
-        through the cost model.  Cache state is identical either way
-        (a TSS miss mutates nothing), only Python time differs.
+        Under the default ``covert_replay="model"``: packets whose
+        megaflow is already installed only refresh it (entry touch) and
+        are charged the expected megaflow-hit cost.  Packets without
+        one are *known* cache misses (the attacker constructs
+        pairwise-distinct covert keys), so instead of paying for a full
+        TSS miss scan in Python they go straight to the real slow path
+        — which performs the genuine classification and megaflow
+        installation — while the skipped scan is charged through the
+        cost model.  Cache state is identical either way (a TSS miss
+        mutates nothing), only Python time differs.
+
+        Under ``covert_replay="datapath"`` the tick's packets instead
+        run as one coalesced burst through the real ``process_batch``
+        pipeline (see :meth:`_send_covert_datapath`).
         """
         cycles_by_shard = [0.0] * len(self._shards)
         if self.attacker is None or not self.covert_keys:
@@ -264,21 +305,22 @@ class DataplaneSimulator:
         due = self.attacker.packets_due(t0, t1)
         if due <= 0:
             return 0, cycles_by_shard
-        n_keys = len(self.covert_keys)
+        burst = self._covert_burst()
+        n_keys = len(burst)
         mid = t0 + (t1 - t0) / 2
         if not self.switch.has_flow_cache:
             # no cache to pollute: every covert packet is a plain (and
             # futile) classification, run as one batch per tick
-            burst = [
-                self.covert_keys[(self._covert_cursor + i) % n_keys]
-                for i in range(due)
-            ]
+            stream = burst.cyclic_slice(self._covert_cursor, due)
             self._covert_cursor += due
-            batch = self.switch.process_batch(burst, now=mid)
+            batch = self.switch.process_batch(stream, now=mid)
             cycles_by_shard[0] = (
                 due * self.cost_model.cycles_megaflow_base
                 + batch.tuples_scanned * self.cost_model.cycles_tuple_probe
             )
+            return due, cycles_by_shard
+        if self.covert_replay == "datapath":
+            self._send_covert_datapath(burst, due, mid, cycles_by_shard)
             return due, cycles_by_shard
         # under subtable ranking the expected hit scan follows the
         # measured hit distribution (computed once per tick and shard:
@@ -300,34 +342,152 @@ class DataplaneSimulator:
         reta_dp = self._reta_dp
         multi = reta_dp is not None and len(self._shards) > 1
         charge_buckets = multi and reta_dp.rebalancer.enabled
+        # per-tick hoists around the per-packet loop: the burst caches
+        # every key's RSS bucket (hash of the packed key, RETA-
+        # independent), and nothing inside the loop can remap the RETA
+        # (rebalances only fire from ``process_batch``/``advance_clock``),
+        # so the bucket→shard map is resolved once.  The per-packet
+        # cost/refresh/accumulate order is kept exactly as before —
+        # float accumulation and counter order stay bit-identical.
+        keys = burst.keys
+        shards = self._shards
+        switch = self.switch
+        cost_model = self.cost_model
+        entries = self._attacker_entries
+        cursor = self._covert_cursor
+        if multi:
+            buckets = burst.buckets(reta_dp)
+            reta = reta_dp.reta
+            shard_map = [reta[bucket] for bucket in buckets]
+        # the expected hit cost is a pure function of a shard's mask
+        # count; memoised per (shard, mask count) so laps of hits over
+        # an unchanged tuple space pay one cost-model call, not one per
+        # packet (mask counts only move on upcalls, which recompute)
+        hit_cost_cache: list[tuple[int, float] | None] = [None] * len(shards)
         for _ in range(due):
-            key = self.covert_keys[self._covert_cursor % n_keys]
-            self._covert_cursor += 1
+            index = cursor % n_keys
+            cursor += 1
+            key = keys[index]
             if multi:
-                bucket = reta_dp.bucket_of(key)
-                shard = reta_dp.reta[bucket]
+                bucket = buckets[index]
+                shard = shard_map[index]
             else:
                 bucket = 0
                 shard = self._shard_of(key)
-            view = self._shards[shard]
-            entry = self._attacker_entries.get((shard, key))
+            view = shards[shard]
+            entry = entries.get((shard, key))
             if entry is not None and entry.alive:
                 entry.refresh(t1)
-                cost = ranked_hit_costs[shard] if ranked else (
-                    self.cost_model.expected_megaflow_hit_cost(view.mask_count)
-                )
+                if ranked:
+                    cost = ranked_hit_costs[shard]
+                else:
+                    masks = view.mask_count
+                    cached = hit_cost_cache[shard]
+                    if cached is None or cached[0] != masks:
+                        cached = (
+                            masks,
+                            cost_model.expected_megaflow_hit_cost(masks),
+                        )
+                        hit_cost_cache[shard] = cached
+                    cost = cached[1]
             else:
-                installed = self.switch.handle_miss(key, now=mid)
+                installed = switch.handle_miss(key, now=mid)
                 if installed is not None:
-                    self._attacker_entries[(shard, key)] = installed
-                cost = self.cost_model.miss_cost(
+                    entries[(shard, key)] = installed
+                cost = cost_model.miss_cost(
                     view.mask_count,
                     rules_examined=view.rule_count,
                 )
             cycles_by_shard[shard] += cost
             if charge_buckets:
                 reta_dp.record_bucket_cycles(bucket, cost)
+        self._covert_cursor = cursor
         return due, cycles_by_shard
+
+    def _batch_cycles(self, view, emc_hits: int, megaflow_hits: int,
+                      upcalls: int, tuples_scanned: int) -> float:
+        """Cost-model cycles for a measured batch outcome on one shard:
+        the same per-path constants the analytic formulas use, applied
+        to what the datapath actually did instead of to expectations."""
+        cost_model = self.cost_model
+        probe = (
+            cost_model.cycles_staged_probe
+            if view.staged
+            else cost_model.cycles_tuple_probe
+        )
+        return (
+            emc_hits * cost_model.cycles_emc_hit
+            + (megaflow_hits + upcalls) * cost_model.cycles_megaflow_base
+            + tuples_scanned * probe
+            + upcalls * (
+                cost_model.cycles_upcall
+                + view.rule_count * cost_model.cycles_slow_rule
+            )
+        )
+
+    def _send_covert_datapath(self, burst: KeyBurst, due: int, mid: float,
+                              cycles_by_shard: list[float]) -> None:
+        """``covert_replay="datapath"``: replay the tick's due covert
+        packets as **one coalesced burst** through the real pipeline.
+
+        The burst is assembled with C-level slices of the cached key
+        list (no per-packet re-pack) and handed to ``process_batch`` in
+        one call — a sharded datapath groups it per PMD internally and
+        does its own bucket-window accounting, so nothing here calls
+        ``record_bucket_cycles`` (that would double-bill the
+        rebalancer).  Cycles are charged from the batch's measured
+        aggregates via :meth:`_batch_cycles`; on a multi-shard datapath
+        the per-result paths are attributed to shards under the
+        dispatch-time RETA (a rebalance can only fire after the batch).
+        The ``(shard, key) → entry`` map — which feeds the EMC
+        competition model — is only rebuilt on ticks that saw upcalls:
+        a dead entry forces a TSS miss, so every (re)install is such a
+        tick.
+        """
+        start = self._covert_cursor
+        stream = burst.cyclic_slice(start, due)
+        self._covert_cursor = start + due
+        reta_dp = self._reta_dp
+        shards = self._shards
+        multi = reta_dp is not None and len(shards) > 1
+        if multi:
+            buckets = burst.buckets(reta_dp)
+            reta = reta_dp.reta
+            shard_map = [reta[bucket] for bucket in buckets]
+        batch: BatchResult = self.switch.process_batch(stream, now=mid)
+        n_keys = len(burst)
+        if multi:
+            tallies = [[0, 0, 0, 0] for _ in shards]
+            for offset, result in enumerate(batch.results):
+                tally = tallies[shard_map[(start + offset) % n_keys]]
+                path = result.path
+                if path is LookupPath.MICROFLOW:
+                    tally[0] += 1
+                elif path is LookupPath.MEGAFLOW:
+                    tally[1] += 1
+                else:
+                    tally[2] += 1
+                tally[3] += result.tuples_scanned
+            for shard, (emc, mf, up, tuples) in enumerate(tallies):
+                cycles_by_shard[shard] = self._batch_cycles(
+                    shards[shard], emc, mf, up, tuples
+                )
+        else:
+            cycles_by_shard[0] = self._batch_cycles(
+                shards[0],
+                batch.emc_hits,
+                batch.megaflow_hits,
+                batch.upcalls,
+                batch.tuples_scanned,
+            )
+        if batch.upcalls:
+            entries = self._attacker_entries
+            for offset, (key, result) in enumerate(zip(stream, batch.results)):
+                if result.entry is not None:
+                    shard = (
+                        shard_map[(start + offset) % n_keys] if multi else 0
+                    )
+                    entries[(shard, key)] = result.entry
 
     def _emc_hit_rate(self, attack_active: bool) -> float:
         """Capacity-competition model of the exact-match layer: with far

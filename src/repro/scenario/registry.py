@@ -444,6 +444,30 @@ def _ovs_vec_backend(profile: DatapathProfile, space: FieldSpace, name: str,
     )
 
 
+@BACKENDS.register("ovs-vec-auto")
+def _ovs_vec_auto_backend(profile: DatapathProfile, space: FieldSpace,
+                          name: str, **kwargs) -> Datapath:
+    """``ovs-vec`` when NumPy is importable, the scalar ``ovs`` engine
+    otherwise — with a loud warning on the fallback, never a silent
+    behaviour change.  Both engines are pinned bit-identical, so the
+    choice only moves wall clock; wall-clock-bound presets (fleet,
+    multi-PMD, degradation sweeps) use this as their default backend."""
+    from repro.vec import HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        return _ovs_vec_backend(profile, space, name, **kwargs)
+    import warnings
+
+    warnings.warn(
+        "numpy is not installed: the ovs-vec-auto backend is falling "
+        "back to the scalar 'ovs' engine (bit-identical results, "
+        "slower wall clock)",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return _ovs_backend(profile, space, name, **kwargs)
+
+
 @BACKENDS.register("sharded")
 def _sharded_backend(profile: DatapathProfile, space: FieldSpace, name: str,
                      seed: int = 0, staged: bool = False, scan_order: str = "",

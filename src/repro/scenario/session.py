@@ -304,6 +304,7 @@ class Session:
             seed=spec.seed,
             attacker_strategy=spec.attacker_strategy,
             reprobe_interval=spec.reprobe_interval,
+            covert_replay=spec.covert_replay,
         )
 
     # -- running -------------------------------------------------------------

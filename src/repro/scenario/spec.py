@@ -84,6 +84,12 @@ class ScenarioSpec:
     #: (only meaningful with ``attacker_strategy="spread"`` and a
     #: rebalancing sharded backend)
     reprobe_interval: float = 0.0
+    #: how covert packets are replayed each tick: "model" (the default
+    #: hybrid-fidelity scheme — installed flows refresh and are charged
+    #: analytically) or "datapath" (every due packet runs as one
+    #: coalesced burst through the real ``process_batch`` pipeline, so
+    #: the tick's wall clock exercises the datapath engine end-to-end)
+    covert_replay: str = "model"
     #: enable the TSS staged-lookup optimisation
     staged_lookup: bool = False
     #: TSS subtable visit order ("insertion" | "hits" | "ranked");
@@ -172,6 +178,11 @@ class ScenarioSpec:
             )
         if self.reprobe_interval < 0:
             raise ValueError("reprobe_interval must be >= 0 (0 = never)")
+        if self.covert_replay not in ("model", "datapath"):
+            raise ValueError(
+                f"unknown covert_replay {self.covert_replay!r}: "
+                "model | datapath"
+            )
         if self.reprobe_interval > 0 and self.attacker_strategy != "spread":
             # a naive stream has nothing to re-steer: fail loudly rather
             # than silently measuring the baseline under a knob the user

@@ -53,7 +53,7 @@ from typing import Iterable, Sequence
 from repro.flow.fields import OVS_FIELDS, FieldSpace
 from repro.flow.key import FlowKey
 from repro.ovs.microflow import MicroflowCache
-from repro.ovs.switch import BatchResult, OvsSwitch
+from repro.ovs.switch import BatchResult, LookupPath, OvsSwitch, PacketResult
 from repro.ovs.tss import Subtable, TssLookupResult, TupleSpaceSearch
 from repro.vec import require_numpy
 from repro.vec.columnar import LaneCodec
@@ -348,14 +348,29 @@ class VecTupleSpaceSearch(TupleSpaceSearch):
             if u_entry[rep[i]] is None:
                 n_hits = i
                 break
+        # rank credits are grouped: consecutive hits on the same
+        # subtable (duplicate keys, elephant-flow bursts) fold into one
+        # credit_hits(n) call — integer adds, so the counters land
+        # exactly where per-key credit_hit calls would put them
         results: list[TssLookupResult] = []
         scanned = 0
+        last_table = None
+        pending_credits = 0
         for i in range(n_hits):
             u = rep[i]
             depth = u_depth[u]
             results.append(TssLookupResult(u_entry[u], depth, depth))
-            u_table[u].credit_hit()
+            table = u_table[u]
+            if table is last_table:
+                pending_credits += 1
+            else:
+                if pending_credits:
+                    last_table.credit_hits(pending_credits)
+                last_table = table
+                pending_credits = 1
             scanned += depth
+        if pending_credits:
+            last_table.credit_hits(pending_credits)
         consumed = n_hits
         if n_hits < limit:
             results.append(TssLookupResult(None, n_tables, n_tables))
@@ -402,7 +417,7 @@ class VecEmcStore:
         self.overlay: set[FlowKey] = set()
 
     def note_insert(self, key: FlowKey) -> None:
-        """Record an (attempted) EMC insert — supersets never miss one."""
+        """Record a *stored* EMC insert — supersets never miss one."""
         self.overlay.add(key)
 
     def reset(self) -> None:
@@ -430,6 +445,12 @@ class VecEmcStore:
         self._fps = fps
         self._base_count = len(packed)
         self.overlay.clear()
+
+    @property
+    def empty(self) -> bool:
+        """True when no key can possibly be resident (base and overlay
+        both empty) — the caller may skip the probe outright."""
+        return self._fps.shape[0] == 0 and not self.overlay
 
     def probe(self, lanes) -> "np.ndarray":
         """Vectorized maybe-resident probe for a whole batch of key rows
@@ -486,18 +507,87 @@ class VecSwitch(OvsSwitch):
 
     # -- EMC bookkeeping ----------------------------------------------------
 
-    def _finish_megaflow_hit(self, key, tss_result, now):
+    def _note_emc_insert(self, key) -> None:
+        # the base pipeline fires this hook exactly when the microflow
+        # cache *stored* the key (probabilistic-insertion rejects never
+        # create a slot), so the overlay tracks precisely the residents
+        # added since the last refold — tight enough that an insertion
+        # probability of zero keeps the store empty and every burst on
+        # the proven-miss bulk path
         self._emc_store.note_insert(key)
-        return super()._finish_megaflow_hit(key, tss_result, now)
-
-    def _finish_upcall(self, key, tss_result, now):
-        # noted even when the guard vetoes the install: supersets only
-        self._emc_store.note_insert(key)
-        return super()._finish_upcall(key, tss_result, now)
 
     def invalidate_caches(self) -> None:
         super().invalidate_caches()
         self._emc_store.reset()
+
+    # -- batched slow-path bookkeeping ---------------------------------------
+
+    def _flush_run(self, run, run_set, batch: BatchResult, now: float) -> None:
+        """The inherited run drain with the megaflow-hit bookkeeping
+        folded per chunk: a chunk whose every key hit (the prefix
+        contract puts the only possible miss last) updates the switch
+        and batch counters once instead of per packet.  The per-key
+        work that is stateful stays per-key, in key order — the EMC
+        insert (its RNG draw and any stored slot) and the
+        ``PacketResult`` list the caller reads — so the exit state is
+        bit-identical to the reference loop."""
+        start = 0
+        window = self._batch_window
+        n = len(run)
+        stats = self.stats
+        insert = self.microflow.insert
+        note_insert = self._note_emc_insert
+        while start < n:
+            chunk = run[start:start + window]
+            results = self.megaflow.lookup_batch(chunk, now)
+            if results and results[-1].hit:
+                append = batch.results.append
+                forwarded = 0
+                tuples = 0
+                probes = 0
+                for key, tss_result in zip(chunk, results):
+                    entry = tss_result.entry
+                    if insert(key, entry, now):
+                        note_insert(key)
+                    result = PacketResult(
+                        action=entry.action,
+                        path=LookupPath.MEGAFLOW,
+                        tuples_scanned=tss_result.tuples_scanned,
+                        hash_probes=tss_result.hash_probes,
+                        entry=entry,
+                    )
+                    append(result)
+                    tuples += tss_result.tuples_scanned
+                    probes += tss_result.hash_probes
+                    if result.forwarded:
+                        forwarded += 1
+                served = len(results)
+                stats.megaflow_hits += served
+                stats.tuples_scanned += tuples
+                stats.hash_probes += probes
+                stats.forwarded += forwarded
+                stats.drops += served - forwarded
+                batch.megaflow_hits += served
+                batch.tuples_scanned += tuples
+                batch.hash_probes += probes
+                batch.forwarded += forwarded
+                batch.drops += served - forwarded
+                start += served
+                if served == len(chunk):
+                    window = min(window * 2, self.MAX_BATCH_WINDOW)
+                continue
+            # the chunk ended in a TSS miss (or a degenerate empty
+            # prefix): replay it through the reference finishers
+            for key, tss_result in zip(chunk, results):
+                if tss_result.hit:
+                    batch.add(self._finish_megaflow_hit(key, tss_result, now))
+                else:
+                    batch.add(self._finish_upcall(key, tss_result, now))
+                    window = 1
+            start += len(results) if results else len(chunk)
+        self._batch_window = window
+        run.clear()
+        run_set.clear()
 
     # -- the vectorized batch pipeline --------------------------------------
 
@@ -513,17 +603,63 @@ class VecSwitch(OvsSwitch):
         self.revalidator.maybe_sweep(now)
         store = self._emc_store
         store.refresh(self.microflow)
-        maybe = store.probe(self._codec.encode_keys(keys))
         overlay = store.overlay
         batch = BatchResult()
         run: list[FlowKey] = []
         run_set: set[FlowKey] = set()
         microflow = self.microflow
+        # a provably-empty store answers every probe "no" — skip even
+        # the batch encode (the common state with EMC insertion off)
+        maybe = None if store.empty else store.probe(
+            self._codec.encode_keys(keys)
+        )
+        if maybe is None or (not overlay and not maybe.any()):
+            # the whole burst is proven absent from the EMC (the common
+            # shape of a cold covert lap): no key pays a per-key cache
+            # probe, runs split only at within-burst duplicates, and the
+            # per-packet counter ticks are deferred to one bulk add each
+            # — nothing reads them mid-batch, so the exit state is
+            # bit-identical to the per-key loop
+            certain_misses = 0
+            for key in keys:
+                # the truthiness guard spares the key hash while the
+                # overlay stays empty (it can only gain keys here when
+                # a flush's insert actually stores one)
+                possible = bool(overlay) and key in overlay
+                if run and (
+                    key in run_set or (possible and microflow.contains(key))
+                ):
+                    self._flush_run(run, run_set, batch, now)
+                    # the flush may have installed this very key (every
+                    # insert lands in the overlay, so the re-check
+                    # restores the superset guarantee)
+                    possible = possible or (
+                        bool(overlay) and key in overlay
+                    )
+                if possible:
+                    entry = microflow.lookup(key, now)
+                else:
+                    certain_misses += 1
+                    entry = None
+                if entry is not None:
+                    batch.add(self._finish_microflow_hit(entry, now))
+                else:
+                    run.append(key)
+                    run_set.add(key)
+            self.stats.packets += len(keys)
+            microflow.lookups += certain_misses
+            if run:
+                self._flush_run(run, run_set, batch, now)
+            return batch
+        # mixed burst: one vectorized flag conversion, then the
+        # reference per-key resolve (possible residents must probe the
+        # real cache — LRU touches and stale purges are stateful)
+        flags = maybe.tolist()
         for i, key in enumerate(keys):
             # the probe is a superset of the residents: a negative
             # proves the key has no slot, live or stale (the overlay
             # catches keys inserted since the probe's snapshot)
-            possible = bool(maybe[i]) or key in overlay
+            possible = flags[i] or key in overlay
             if run and (
                 key in run_set or (possible and microflow.contains(key))
             ):

@@ -1,0 +1,184 @@
+"""Batch-first end-to-end: the datapath covert-replay mode, the
+``ovs-vec-auto`` backend, the deep-scan preset, and the bit-identity
+of vec-backed simulator and fleet runs against the scalar reference."""
+
+import pytest
+
+from repro.fleet import FleetSession, FleetSpec
+from repro.perf.simulator import DataplaneSimulator
+from repro.perf.costmodel import CostModel
+from repro.perf.workload import VictimWorkload
+from repro.scenario import SCENARIOS, ScenarioSpec, Session
+from repro.scenario.registry import BACKENDS
+from repro.vec import HAVE_NUMPY
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                    reason="numpy not installed")
+
+
+def deepscan(duration=12.0, attack_start=4.0, **overrides):
+    return SCENARIOS.get("k8s-deepscan").evolve(
+        duration=duration, attack_start=attack_start, **overrides
+    )
+
+
+class TestCovertReplayValidation:
+    def test_spec_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="covert_replay"):
+            ScenarioSpec(surface="k8s", covert_replay="bogus")
+
+    def test_simulator_rejects_unknown_mode(self):
+        from repro.ovs.switch import OvsSwitch
+
+        with pytest.raises(ValueError, match="covert_replay"):
+            DataplaneSimulator(
+                OvsSwitch(),
+                CostModel(),
+                VictimWorkload(),
+                covert_replay="sideways",
+            )
+
+    def test_spec_round_trips_mode(self):
+        spec = deepscan()
+        assert spec.covert_replay == "datapath"
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestDeepscanPreset:
+    def test_preset_shape(self):
+        spec = SCENARIOS.get("k8s-deepscan")
+        spec.validate()
+        assert spec.backend == "ovs-vec-auto"
+        assert spec.profile == "kernel-noemc"
+        assert spec.covert_replay == "datapath"
+
+    def test_noemc_profile_never_populates_the_emc(self):
+        result = Session(deepscan(backend="ovs")).run()
+        assert result.datapath.microflow.occupancy == 0
+        assert result.final_mask_count() >= 512
+
+
+class TestDatapathReplayIdentity:
+    """The datapath replay mode must be bit-identical across engines
+    in every configuration the campaign matrix exercises."""
+
+    @requires_numpy
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"shards": 2},
+            {"defenses": ("mask-limit",)},
+            # EMC insertion on: the mixed (maybe-resident) branch
+            {"profile": "kernel", "duration": 8.0, "attack_start": 4.0},
+        ],
+        ids=["plain", "sharded2", "mask-limit", "emc-on"],
+    )
+    def test_vec_series_identical_to_scalar(self, overrides):
+        base = deepscan(**overrides)
+        ref = Session(base.evolve(backend="ovs")).run()
+        vec = Session(base.evolve(backend="ovs-vec")).run()
+        assert vec.series.columns == ref.series.columns
+        assert vec.series.rows == ref.series.rows
+        assert vec.final_mask_count() == ref.final_mask_count()
+        assert vec.scan_stats() == ref.scan_stats()
+
+    @requires_numpy
+    def test_seed_stable(self):
+        spec = deepscan(backend="ovs-vec", seed=23)
+        assert Session(spec).run().series.rows == \
+            Session(spec).run().series.rows
+
+    def test_datapath_mode_really_drives_the_pipeline(self):
+        """Unlike the analytic model mode, datapath replay pushes the
+        covert stream through the switch: the stats see the packets."""
+        result = Session(deepscan(backend="ovs")).run()
+        stats = result.datapath.stats
+        assert stats.megaflow_hits > 0
+        assert stats.packets > 512  # refreshes, not just the install
+
+
+class TestFleetIdentity:
+    @requires_numpy
+    def test_two_node_fleet_identical_across_engines(self):
+        def fleet(backend):
+            spec = FleetSpec(
+                scenario=deepscan(backend=backend),
+                nodes=2,
+                mobility="rolling",
+                dwell=3.0,
+            )
+            return FleetSession(spec).run()
+
+        ref, vec = fleet("ovs"), fleet("ovs-vec")
+        assert vec.aggregate.rows == ref.aggregate.rows
+        for ref_node, vec_node in zip(ref.node_series, vec.node_series):
+            assert vec_node.rows == ref_node.rows
+        assert vec.final_node_masks == ref.final_node_masks
+
+    @requires_numpy
+    def test_reversed_step_order_is_inert(self):
+        spec = FleetSpec(
+            scenario=deepscan(backend="ovs-vec"),
+            nodes=3,
+            mobility="staggered",
+            dwell=3.0,
+        )
+        forward = FleetSession(spec).run(node_step_order=[0, 1, 2])
+        reverse = FleetSession(spec).run(node_step_order=[2, 1, 0])
+        assert forward.aggregate.rows == reverse.aggregate.rows
+
+
+class TestAutoBackend:
+    def test_auto_backend_registered(self):
+        assert "ovs-vec-auto" in BACKENDS.names()
+
+    @requires_numpy
+    def test_auto_resolves_to_vec_when_numpy_present(self):
+        from repro.vec.engine import VecSwitch
+
+        datapath = Session(deepscan()).build_datapath()
+        assert isinstance(datapath, VecSwitch)
+
+    def test_auto_falls_back_loudly_without_numpy(self, monkeypatch):
+        monkeypatch.setattr("repro.vec.HAVE_NUMPY", False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            datapath = Session(deepscan()).build_datapath()
+        from repro.ovs.switch import OvsSwitch
+
+        assert type(datapath) is OvsSwitch
+
+    @requires_numpy
+    def test_auto_series_matches_pinned_backends(self):
+        base = deepscan()
+        auto = Session(base).run()
+        ref = Session(base.evolve(backend="ovs")).run()
+        assert auto.series.rows == ref.series.rows
+
+
+class TestCliAnnotations:
+    def test_scenario_list_annotates_backends(self, capsys):
+        from repro.cli import _print_scenario_list
+
+        _print_scenario_list()
+        out = capsys.readouterr().out
+        assert "k8s-deepscan" in out
+        assert "ovs-vec-auto" in out
+        assert "numpy" in out
+
+    def test_fleet_list_annotates_backends(self, capsys):
+        from repro.cli import _print_fleet_list
+
+        _print_fleet_list()
+        out = capsys.readouterr().out
+        assert "fleet-rolling16" in out
+        assert "ovs-vec-auto" in out
+
+
+def test_wall_clock_presets_default_to_auto_backend():
+    from repro.fleet.presets import FLEETS
+
+    assert SCENARIOS.get("calico-sharded").backend == "ovs-vec-auto"
+    assert SCENARIOS.get("spread-campaign").backend == "ovs-vec-auto"
+    for name in ("fleet-rolling16", "fleet-coordinated4", "fleet-spread4"):
+        assert FLEETS.get(name).scenario.backend == "ovs-vec-auto"

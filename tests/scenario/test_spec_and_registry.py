@@ -65,10 +65,11 @@ class TestBuiltinRegistries:
 
     def test_profiles_and_backends(self):
         assert PROFILES.names() == [
-            "kernel", "netdev", "netdev-ranked", "netdev-pmd4",
-            "netdev-pmd4-alb",
+            "kernel", "kernel-noemc", "netdev", "netdev-ranked",
+            "netdev-pmd4", "netdev-pmd4-alb",
         ]
-        assert {"ovs", "ovs-tuple", "cacheless", "sharded"} <= set(BACKENDS.names())
+        assert {"ovs", "ovs-tuple", "cacheless", "sharded",
+                "ovs-vec-auto"} <= set(BACKENDS.names())
 
     def test_defenses(self):
         assert {"none", "mask-limit", "rate-limit", "prefix-rounding", "detector"} <= set(

@@ -194,6 +194,64 @@ class TestCloudNetwork:
         assert network.send(frame, from_pod="victim-a").delivered
 
 
+class TestSendBurst:
+    """send_burst must be the per-packet send loop, batched."""
+
+    def _attacked(self):
+        from repro.attack.packets import CovertStreamGenerator
+
+        network, pods = two_server_topology()
+        policy, dims = kubernetes_attack_policy()
+        network.attach_policy(KubernetesCms(), policy, "mallory-b")
+        generator = CovertStreamGenerator(dims, dst_ip=pods["mallory-b"].ip)
+        packets = [
+            generator.packet_for_key(key) for key in generator.keys()[:96]
+        ]
+        return network, packets
+
+    def test_burst_matches_sequential_sends(self):
+        loop_net, packets = self._attacked()
+        loop_results = [
+            loop_net.send(p, from_pod="mallory-a") for p in packets
+        ]
+        burst_net, packets = self._attacked()
+        burst_results = burst_net.send_burst(packets, from_pod="mallory-a")
+        assert len(burst_results) == len(loop_results)
+        for a, b in zip(loop_results, burst_results):
+            assert (a.delivered, a.disposition) == (b.delivered, b.disposition)
+            assert [h.tuples_scanned for h in a.hops] == [
+                h.tuples_scanned for h in b.hops
+            ]
+        for name in ("server1", "server2"):
+            loop_switch = loop_net.nodes[name].switch
+            burst_switch = burst_net.nodes[name].switch
+            assert burst_switch.mask_count == loop_switch.mask_count
+            assert burst_switch.stats == loop_switch.stats
+        assert burst_net.fabric.counters() == loop_net.fabric.counters()
+
+    def test_burst_mixes_delivered_dropped_and_unroutable(self):
+        network, _packets = self._attacked()
+        batch = [
+            _packet("10.0.2.10", "10.0.2.20"),   # cross-node delivery
+            _packet("10.0.2.10", "99.99.99.99"),  # no route
+            _packet("10.0.2.10", "10.0.9.20"),   # ACL outcome at server2
+        ]
+        results = network.send_burst(batch, from_pod="victim-a")
+        assert [r.disposition for r in results] == [
+            network.send(p, from_pod="victim-a").disposition for p in batch
+        ]
+
+    def test_burst_accepts_raw_bytes(self):
+        network, _pods_unused = self._attacked()
+        frame = _packet("10.0.2.10", "10.0.2.20").build()
+        results = network.send_burst([frame], from_pod="victim-a")
+        assert results[0].delivered
+
+    def test_empty_burst(self):
+        network, _ = self._attacked()
+        assert network.send_burst([], from_pod="mallory-a") == []
+
+
 class TestPolicyEnforcement:
     def test_default_deny_after_policy(self):
         network, pods = two_server_topology()
