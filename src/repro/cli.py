@@ -22,6 +22,13 @@ Commands
     with attacker mobility and fleet-level defenses (``--list``
     enumerates fleet presets and mobility policies).
 
+``serve``
+    The long-running packet service: replay a pcap (e.g. one written
+    by ``craft``) or the scenario's synthetic covert feed through a
+    live datapath — the serial reference or the multi-process parallel
+    runtime (``--workers N``) — with periodic stats/detector snapshots
+    and a clean SIGINT/SIGTERM shutdown.
+
 ``experiment``
     Run one (or all) of the paper-artefact experiments; thin wrapper
     around :mod:`repro.experiments.runner`.
@@ -224,6 +231,64 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: the long-running packet service."""
+    from repro.runtime.parallel import WorkerCrashError
+    from repro.runtime.service import build_service
+
+    try:
+        spec = SCENARIOS.get(args.scenario)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    overrides = {}
+    for field_name in ("profile", "seed", "shards"):
+        value = getattr(args, field_name)
+        if value is not None:
+            overrides[field_name] = value
+    try:
+        if overrides:
+            spec = spec.evolve(**overrides)
+        service = build_service(
+            spec,
+            workers=args.workers,
+            pcap=args.pcap,
+            rate_pps=args.rate_pps,
+            duration=args.duration,
+            max_packets=args.max_packets,
+            batch_size=args.batch_size,
+            report_interval=args.report_interval,
+            detect_threshold=args.detect_threshold,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"serve {spec.name!r}: {exc}")
+
+    def live(snap: dict) -> None:
+        state, wall = snap["state"], snap["wall"]
+        alert = "  ** MASK ALERT **" if snap["detector"]["alert"] else ""
+        print(
+            f"t={state['time']:8.2f}s  packets={state['packets']:<10d} "
+            f"masks(max/shard)={state['mask_count']:<6d} "
+            f"megaflows={state['megaflows']:<7d} "
+            f"upcalls={state['stats']['upcalls']:<8d} "
+            f"{wall['pps']:10,.0f} pkt/s{alert}",
+            flush=True,
+        )
+
+    try:
+        report = service.run(on_snapshot=live)
+    except WorkerCrashError as exc:
+        print(f"\nFATAL: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(report.render())
+    if args.json is not None:
+        import json
+
+        args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"\nJSON report written to {args.json}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """The ``experiment`` command."""
     from repro.experiments import runner
@@ -351,6 +416,48 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--csv", type=Path, default=None, metavar="DIR",
                        help="dump the aggregate + per-node series into DIR")
     fleet.set_defaults(func=cmd_fleet)
+
+    serve = sub.add_parser(
+        "serve", help="long-running packet service (pcap replay or "
+        "synthetic covert feed)"
+    )
+    serve.add_argument("scenario", nargs="?", default="k8s-serve",
+                       help="scenario providing the rules/profile/shard "
+                       "config (default: k8s-serve)")
+    serve.add_argument("--pcap", type=Path, default=None,
+                       help="replay this capture (e.g. from `repro craft`) "
+                       "instead of the synthetic covert feed")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes: 0 = the serial reference "
+                       "runtime, N > 0 = the multi-process parallel "
+                       "runtime with N shard workers")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="serial-runtime shard count override "
+                       "(default: the scenario's)")
+    serve.add_argument("--duration", type=float, default=10.0,
+                       help="synthetic feed: simulated seconds to stream "
+                       "(default 10)")
+    serve.add_argument("--rate-pps", type=float, default=None,
+                       dest="rate_pps",
+                       help="synthetic feed rate (default: the scenario's "
+                       "covert rate)")
+    serve.add_argument("--max-packets", type=int, default=None,
+                       dest="max_packets",
+                       help="stop after this many packets")
+    serve.add_argument("--batch-size", type=int, default=256,
+                       dest="batch_size",
+                       help="pcap replay burst size (default 256)")
+    serve.add_argument("--report-interval", type=float, default=1.0,
+                       dest="report_interval",
+                       help="simulated seconds between live snapshots")
+    serve.add_argument("--detect-threshold", type=int, default=64,
+                       dest="detect_threshold",
+                       help="per-shard mask count that trips the alert")
+    serve.add_argument("--profile", choices=PROFILES.names(), default=None)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--json", type=Path, default=None, metavar="FILE",
+                       help="also write the full report as JSON")
+    serve.set_defaults(func=cmd_serve)
 
     experiment = sub.add_parser("experiment", help="run paper experiments")
     experiment.add_argument("names", nargs="*", help="experiment ids (default: all)")

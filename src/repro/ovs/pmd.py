@@ -257,29 +257,69 @@ class ShardedDatapath:
         return result
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
-                      now: float | None = None) -> BatchResult:
+                      now: float | None = None,
+                      materialize: bool = True) -> BatchResult:
         """Dispatch a burst: bucket keys by RETA shard (keeping each
         shard's sub-burst in arrival order, as a NIC queue would), run
         one :meth:`OvsSwitch.process_batch` per shard, and reassemble
         results in input order.  Shards share no state, so this is
-        exactly equivalent to per-key dispatch."""
+        exactly equivalent to per-key dispatch.
+
+        ``materialize=False`` (the aggregate-only mode) merges the
+        per-shard aggregate counters without reassembling per-packet
+        results; ``installed`` pairs are grouped per shard rather than
+        in input order.  Aggregate mode skips the per-bucket load
+        window entirely (it needs each packet's scan depth, which only
+        materialized results carry), so it refuses to run under an
+        enabled rebalancer instead of silently starving the auto-lb.
+        """
         shards = self.shards
         if len(shards) == 1:
-            return shards[0].process_batch(keys, now=now)
+            return shards[0].process_batch(keys, now=now,
+                                           materialize=materialize)
         self._advance(now)
         keys = list(keys)
+        if not materialize:
+            if self.rebalancer.enabled:
+                raise ValueError(
+                    "aggregate-only batches (materialize=False) skip the "
+                    "per-bucket scan-depth accounting the PMD auto-lb "
+                    "feeds on; disable rebalancing (rebalance_interval=0) "
+                    "or use materialized results"
+                )
+            by_shard: dict[int, list[FlowKey]] = {}
+            reta = self.reta
+            for key in keys:
+                by_shard.setdefault(
+                    reta[self.bucket_of(key)], []
+                ).append(key)
+            batch = BatchResult()
+            for shard, sub_keys in by_shard.items():
+                sub = shards[shard].process_batch(sub_keys, now=now,
+                                                  materialize=False)
+                batch.packets += sub.packets
+                batch.tuples_scanned += sub.tuples_scanned
+                batch.hash_probes += sub.hash_probes
+                batch.forwarded += sub.forwarded
+                batch.drops += sub.drops
+                batch.upcalls += sub.upcalls
+                batch.emc_hits += sub.emc_hits
+                batch.megaflow_hits += sub.megaflow_hits
+                batch.installed.extend(sub.installed)
+            return batch
         key_buckets = [self.bucket_of(key) for key in keys]
-        by_shard: dict[int, list[int]] = {}
+        by_position: dict[int, list[int]] = {}
         for position, bucket in enumerate(key_buckets):
-            by_shard.setdefault(self.reta[bucket], []).append(position)
+            by_position.setdefault(self.reta[bucket], []).append(position)
         slots: list[PacketResult | None] = [None] * len(keys)
-        for shard, positions in by_shard.items():
+        batch = BatchResult()
+        for shard, positions in by_position.items():
             sub = shards[shard].process_batch(
                 [keys[p] for p in positions], now=now
             )
             for position, result in zip(positions, sub.results):
                 slots[position] = result
-        batch = BatchResult()
+            batch.installed.extend(sub.installed)
         bucket_packets, bucket_tuples = self.bucket_packets, self.bucket_tuples
         for bucket, result in zip(key_buckets, slots):
             assert result is not None

@@ -73,11 +73,21 @@ class PacketResult:
 class BatchResult:
     """Aggregate outcome of a :meth:`OvsSwitch.process_batch` call.
 
-    Per-packet results stay available (order matches the input keys);
-    the aggregates save callers a Python-level reduce on the hot path.
+    In the default **materialized** mode per-packet results stay
+    available (order matches the input keys); the aggregates save
+    callers a Python-level reduce on the hot path.  In **aggregate-only**
+    mode (``process_batch(..., materialize=False)``) ``results`` stays
+    empty and only the counters are folded — the columnar result mode
+    callers that never read per-packet outcomes (the simulator's
+    ``_batch_cycles`` path, the parallel runtime's IPC wire format) use
+    to skip :class:`PacketResult` construction entirely.  The counters
+    are pinned bit-identical between the two modes.
     """
 
     results: list[PacketResult] = field(default_factory=list)
+    #: packets processed (== ``len(results)`` in materialized mode; the
+    #: only population count available in aggregate-only mode)
+    packets: int = 0
     tuples_scanned: int = 0
     hash_probes: int = 0
     forwarded: int = 0
@@ -87,10 +97,16 @@ class BatchResult:
     emc_hits: int = 0
     #: packets served by the megaflow (TSS) layer
     megaflow_hits: int = 0
+    #: ``(key, entry)`` per upcall that installed a megaflow, in key
+    #: order — recorded in *both* result modes, so aggregate-only
+    #: callers that maintain entry maps (the simulator's datapath
+    #: replay) still learn about installs without materialised results
+    installed: list[tuple[FlowKey, MegaflowEntry]] = field(default_factory=list)
 
     def add(self, result: PacketResult) -> None:
         """Fold one packet's outcome into the aggregates."""
         self.results.append(result)
+        self.packets += 1
         self.tuples_scanned += result.tuples_scanned
         self.hash_probes += result.hash_probes
         if result.forwarded:
@@ -104,8 +120,27 @@ class BatchResult:
         elif result.path is LookupPath.MEGAFLOW:
             self.megaflow_hits += 1
 
+    def tally(self, path: LookupPath, forwarded: bool,
+              tuples_scanned: int = 0, hash_probes: int = 0) -> None:
+        """Fold one packet's outcome into the aggregates *without*
+        materialising a :class:`PacketResult` (the aggregate-only mode's
+        counterpart of :meth:`add` — same counters, no object)."""
+        self.packets += 1
+        self.tuples_scanned += tuples_scanned
+        self.hash_probes += hash_probes
+        if forwarded:
+            self.forwarded += 1
+        else:
+            self.drops += 1
+        if path is LookupPath.UPCALL:
+            self.upcalls += 1
+        elif path is LookupPath.MICROFLOW:
+            self.emc_hits += 1
+        elif path is LookupPath.MEGAFLOW:
+            self.megaflow_hits += 1
+
     def __len__(self) -> int:
-        return len(self.results)
+        return self.packets
 
     def __iter__(self) -> Iterator[PacketResult]:
         return iter(self.results)
@@ -230,7 +265,8 @@ class OvsSwitch:
         return self.process_batch((key,), now=now).results[0]
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
-                      now: float | None = None) -> BatchResult:
+                      now: float | None = None,
+                      materialize: bool = True) -> BatchResult:
         """Run a burst of pre-extracted keys through the pipeline — the
         **primary** datapath entry point.
 
@@ -251,6 +287,13 @@ class OvsSwitch:
         in one chunk.  As with
         :meth:`process`, a stale ``now`` is clamped to the monotonic
         clock.
+
+        ``materialize=False`` selects the aggregate-only result mode:
+        cache state, stats and every :class:`BatchResult` counter are
+        bit-identical to the default, but no :class:`PacketResult`
+        objects are built and ``results`` stays empty — callers that
+        only consume the sums (cost charging, the parallel runtime's
+        wire format) skip the per-packet object churn.
         """
         now = self._advance(now)
         self.revalidator.maybe_sweep(now)
@@ -262,20 +305,21 @@ class OvsSwitch:
                 # this key's EMC lookup does not commute with the run's
                 # pending inserts: flush first, then look it up at its
                 # true sequential point
-                self._flush_run(run, run_set, batch, now)
+                self._flush_run(run, run_set, batch, now, materialize)
             self.stats.packets += 1
             entry = self.microflow.lookup(key, now)
             if entry is not None:
-                batch.add(self._finish_microflow_hit(entry, now))
+                self._finish_microflow_hit(entry, now, batch, materialize)
             else:
                 run.append(key)
                 run_set.add(key)
         if run:
-            self._flush_run(run, run_set, batch, now)
+            self._flush_run(run, run_set, batch, now, materialize)
         return batch
 
     def _flush_run(self, run: list[FlowKey], run_set: set[FlowKey],
-                   batch: BatchResult, now: float) -> None:
+                   batch: BatchResult, now: float,
+                   materialize: bool = True) -> None:
         """Drain a run of EMC-missed keys through the TSS in bucketed
         chunks, falling back to chunk-of-one around upcalls.  The chunk
         window carries over between runs: every chunk is validated by
@@ -290,9 +334,11 @@ class OvsSwitch:
             clean = True
             for key, tss_result in zip(chunk, results):
                 if tss_result.hit:
-                    batch.add(self._finish_megaflow_hit(key, tss_result, now))
+                    self._finish_megaflow_hit(key, tss_result, now, batch,
+                                              materialize)
                 else:
-                    batch.add(self._finish_upcall(key, tss_result, now))
+                    self._finish_upcall(key, tss_result, now, batch,
+                                        materialize)
                     clean = False
             start += len(results)
             if not clean:
@@ -303,18 +349,26 @@ class OvsSwitch:
         run.clear()
         run_set.clear()
 
-    def _finish_microflow_hit(self, entry: MegaflowEntry, now: float) -> PacketResult:
+    def _finish_microflow_hit(self, entry: MegaflowEntry, now: float,
+                              batch: BatchResult,
+                              materialize: bool = True) -> None:
         entry.touch(now)
-        result = PacketResult(
-            action=entry.action,
-            path=LookupPath.MICROFLOW,
-            tuples_scanned=0,
-            hash_probes=0,
-            entry=entry,
-        )
         self.stats.emc_hits += 1
-        self._account(result)
-        return result
+        forwarded = entry.action.is_forwarding()
+        if forwarded:
+            self.stats.forwarded += 1
+        else:
+            self.stats.drops += 1
+        if materialize:
+            batch.add(PacketResult(
+                action=entry.action,
+                path=LookupPath.MICROFLOW,
+                tuples_scanned=0,
+                hash_probes=0,
+                entry=entry,
+            ))
+        else:
+            batch.tally(LookupPath.MICROFLOW, forwarded)
 
     def _note_emc_insert(self, key: FlowKey) -> None:
         """Hook: a key was just *stored* in the microflow cache.  The
@@ -322,41 +376,59 @@ class OvsSwitch:
         the key onto its membership mirror so the next batched EMC probe
         stays a superset of the live cache."""
 
-    def _finish_megaflow_hit(self, key: FlowKey, tss_result, now: float) -> PacketResult:
+    def _finish_megaflow_hit(self, key: FlowKey, tss_result, now: float,
+                             batch: BatchResult,
+                             materialize: bool = True) -> None:
         megaflow_entry: MegaflowEntry = tss_result.entry  # type: ignore[assignment]
         if self.microflow.insert(key, megaflow_entry, now):
             self._note_emc_insert(key)
-        result = PacketResult(
-            action=megaflow_entry.action,
-            path=LookupPath.MEGAFLOW,
-            tuples_scanned=tss_result.tuples_scanned,
-            hash_probes=tss_result.hash_probes,
-            entry=megaflow_entry,
-        )
         self.stats.megaflow_hits += 1
-        self.stats.record_scan(result.tuples_scanned, result.hash_probes)
-        self._account(result)
-        return result
+        self.stats.record_scan(tss_result.tuples_scanned, tss_result.hash_probes)
+        forwarded = megaflow_entry.action.is_forwarding()
+        if forwarded:
+            self.stats.forwarded += 1
+        else:
+            self.stats.drops += 1
+        if materialize:
+            batch.add(PacketResult(
+                action=megaflow_entry.action,
+                path=LookupPath.MEGAFLOW,
+                tuples_scanned=tss_result.tuples_scanned,
+                hash_probes=tss_result.hash_probes,
+                entry=megaflow_entry,
+            ))
+        else:
+            batch.tally(LookupPath.MEGAFLOW, forwarded,
+                        tss_result.tuples_scanned, tss_result.hash_probes)
 
-    def _finish_upcall(self, key: FlowKey, tss_result, now: float) -> PacketResult:
+    def _finish_upcall(self, key: FlowKey, tss_result, now: float,
+                       batch: BatchResult, materialize: bool = True) -> None:
         upcall = self.slow_path.handle(key, now)
         if upcall.installed is not None:
             if self.microflow.insert(key, upcall.installed, now):
                 self._note_emc_insert(key)
-        result = PacketResult(
-            action=upcall.action,
-            path=LookupPath.UPCALL,
-            tuples_scanned=tss_result.tuples_scanned,
-            hash_probes=tss_result.hash_probes,
-            entry=upcall.installed,
-            install_skipped=upcall.install_skipped is not None,
-        )
+            batch.installed.append((key, upcall.installed))
         self.stats.upcalls += 1
         if upcall.install_skipped is not None:
             self.stats.upcalls_rejected += 1
-        self.stats.record_scan(result.tuples_scanned, result.hash_probes)
-        self._account(result)
-        return result
+        self.stats.record_scan(tss_result.tuples_scanned, tss_result.hash_probes)
+        forwarded = upcall.action.is_forwarding()
+        if forwarded:
+            self.stats.forwarded += 1
+        else:
+            self.stats.drops += 1
+        if materialize:
+            batch.add(PacketResult(
+                action=upcall.action,
+                path=LookupPath.UPCALL,
+                tuples_scanned=tss_result.tuples_scanned,
+                hash_probes=tss_result.hash_probes,
+                entry=upcall.installed,
+                install_skipped=upcall.install_skipped is not None,
+            ))
+        else:
+            batch.tally(LookupPath.UPCALL, forwarded,
+                        tss_result.tuples_scanned, tss_result.hash_probes)
 
     def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
         """Slow-path shortcut for a *known* cache miss: classify and
@@ -366,12 +438,6 @@ class OvsSwitch:
         Datapath` protocol — replay harnesses use it to load covert
         streams without paying the quadratic scan bill in Python."""
         return self.slow_path.handle(key, now).installed
-
-    def _account(self, result: PacketResult) -> None:
-        if result.forwarded:
-            self.stats.forwarded += 1
-        else:
-            self.stats.drops += 1
 
     # -- observability -----------------------------------------------------
 

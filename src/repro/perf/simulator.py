@@ -313,7 +313,10 @@ class DataplaneSimulator:
             # futile) classification, run as one batch per tick
             stream = burst.cyclic_slice(self._covert_cursor, due)
             self._covert_cursor += due
-            batch = self.switch.process_batch(stream, now=mid)
+            # aggregate-only: the cost charge below reads nothing but
+            # the batch sums, so no PacketResult is ever materialised
+            batch = self.switch.process_batch(stream, now=mid,
+                                              materialize=False)
             cycles_by_shard[0] = (
                 due * self.cost_model.cycles_megaflow_base
                 + batch.tuples_scanned * self.cost_model.cycles_tuple_probe
@@ -443,6 +446,14 @@ class DataplaneSimulator:
         competition model — is only rebuilt on ticks that saw upcalls:
         a dead entry forces a TSS miss, so every (re)install is such a
         tick.
+
+        Unsharded datapaths run the burst in the aggregate-only result
+        mode: the cycle charge reads only the batch sums, and the entry
+        map is maintained from the batch's ``installed`` pairs — every
+        entry the map can ever hold arrives via its install upcall, so
+        per-packet results are never materialised.  Multi-shard
+        datapaths still materialise: per-shard cycle attribution needs
+        each packet's path and scan depth.
         """
         start = self._covert_cursor
         stream = burst.cyclic_slice(start, due)
@@ -450,13 +461,13 @@ class DataplaneSimulator:
         reta_dp = self._reta_dp
         shards = self._shards
         multi = reta_dp is not None and len(shards) > 1
+        n_keys = len(burst)
+        entries = self._attacker_entries
         if multi:
             buckets = burst.buckets(reta_dp)
             reta = reta_dp.reta
             shard_map = [reta[bucket] for bucket in buckets]
-        batch: BatchResult = self.switch.process_batch(stream, now=mid)
-        n_keys = len(burst)
-        if multi:
+            batch: BatchResult = self.switch.process_batch(stream, now=mid)
             tallies = [[0, 0, 0, 0] for _ in shards]
             for offset, result in enumerate(batch.results):
                 tally = tallies[shard_map[(start + offset) % n_keys]]
@@ -472,22 +483,24 @@ class DataplaneSimulator:
                 cycles_by_shard[shard] = self._batch_cycles(
                     shards[shard], emc, mf, up, tuples
                 )
-        else:
-            cycles_by_shard[0] = self._batch_cycles(
-                shards[0],
-                batch.emc_hits,
-                batch.megaflow_hits,
-                batch.upcalls,
-                batch.tuples_scanned,
-            )
-        if batch.upcalls:
-            entries = self._attacker_entries
-            for offset, (key, result) in enumerate(zip(stream, batch.results)):
-                if result.entry is not None:
-                    shard = (
-                        shard_map[(start + offset) % n_keys] if multi else 0
-                    )
-                    entries[(shard, key)] = result.entry
+            if batch.upcalls:
+                for offset, (key, result) in enumerate(
+                    zip(stream, batch.results)
+                ):
+                    if result.entry is not None:
+                        shard = shard_map[(start + offset) % n_keys]
+                        entries[(shard, key)] = result.entry
+            return
+        batch = self.switch.process_batch(stream, now=mid, materialize=False)
+        cycles_by_shard[0] = self._batch_cycles(
+            shards[0],
+            batch.emc_hits,
+            batch.megaflow_hits,
+            batch.upcalls,
+            batch.tuples_scanned,
+        )
+        for key, entry in batch.installed:
+            entries[(0, key)] = entry
 
     def _emc_hit_rate(self, attack_active: bool) -> float:
         """Capacity-competition model of the exact-match layer: with far

@@ -1,0 +1,38 @@
+"""The true-parallel execution runtime and the long-running service.
+
+Two layers, both aggregate-only by design:
+
+* :mod:`repro.runtime.parallel` — :class:`ParallelDatapath`: each RSS
+  shard's switch state lives on its own ``multiprocessing`` worker and
+  the parent keeps RETA dispatch, splitting every burst per shard and
+  folding the workers' compact aggregate replies (the columnar
+  aggregate-only result mode *is* the IPC wire format).  The serial
+  :class:`~repro.ovs.pmd.ShardedDatapath` stays the deterministic
+  reference the parallel runtime must match exactly —
+  ``benchmarks/bench_serve.py`` gates that equivalence in CI.
+
+* :mod:`repro.runtime.service` — :class:`ServeService`: the
+  ``repro serve`` engine, a long-running loop ingesting a packet stream
+  (pcap replay or a synthetic covert-lap feed) with periodic live
+  stats/detector snapshots, graceful SIGINT/SIGTERM shutdown and loud
+  worker-crash diagnostics.
+"""
+
+from repro.runtime.parallel import ParallelDatapath, WorkerCrashError
+from repro.runtime.service import (
+    PcapSource,
+    ServeReport,
+    ServeService,
+    SyntheticSource,
+    build_service,
+)
+
+__all__ = [
+    "ParallelDatapath",
+    "PcapSource",
+    "ServeReport",
+    "ServeService",
+    "SyntheticSource",
+    "WorkerCrashError",
+    "build_service",
+]

@@ -1,0 +1,501 @@
+"""The long-running packet service behind ``repro serve``.
+
+A scenario run answers "what happened over 150 simulated seconds"; the
+serve loop answers the operational question — *what does the datapath
+look like right now, while the stream is still flowing?*  It ingests a
+packet stream (a pcap replayed through the real parser, or the
+scenario's synthetic covert-lap feed), pushes every burst through
+``process_batch(materialize=False)`` on either the serial
+:class:`~repro.ovs.pmd.ShardedDatapath` reference or the
+:class:`~repro.runtime.parallel.ParallelDatapath`, and emits periodic
+snapshots: cumulative switch stats, per-shard mask counts, and a
+mask-count detector verdict.
+
+Two invariants the tests and ``benchmarks/bench_serve.py`` pin:
+
+* **Determinism** — every snapshot splits into a ``state`` part
+  (driven purely by simulated time and traffic: stats counters, mask
+  counts, detector) and a ``wall`` part (elapsed seconds, packets/s).
+  The ``state`` series is byte-identical between the serial and
+  parallel runtimes, and between repeated runs.
+
+* **Graceful shutdown** — SIGINT/SIGTERM never tears mid-burst: the
+  handler sets a flag, the loop finishes the in-flight burst, flushes
+  a final snapshot, and joins the workers.  A worker that *dies* is a
+  loud :class:`~repro.runtime.parallel.WorkerCrashError`, never a
+  hang.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Iterator
+
+from repro.flow.fields import OVS_FIELDS, FieldSpace
+from repro.flow.key import FlowKey
+from repro.ovs.stats import SwitchStats
+from repro.perf.burst import KeyBurst
+from repro.perf.workload import AttackerWorkload
+from repro.runtime.parallel import ParallelDatapath, _observe_switch
+
+#: default seconds of simulated time per synthetic burst (matches the
+#: simulator's coalescing granularity: one burst per tick)
+DEFAULT_TICK = 0.1
+
+#: default mask-count alarm threshold: half the paper's 512-mask
+#: Kubernetes explosion, far above any benign per-shard mask census
+DEFAULT_DETECT_THRESHOLD = 64
+
+
+class SyntheticSource:
+    """The scenario's covert stream as a deterministic live feed.
+
+    Lap structure and pacing mirror the simulator's coalesced replay:
+    each ``tick`` of simulated time emits the integer number of packets
+    due by drift-free cumulative arithmetic, sliced cyclically from the
+    covert key set.  Entirely simulated-time-driven — no wall clock —
+    so two runs (or two runtimes) see byte-identical bursts.
+    """
+
+    def __init__(
+        self,
+        keys: list[FlowKey],
+        rate_pps: float,
+        duration: float,
+        tick: float = DEFAULT_TICK,
+        start_time: float = 0.0,
+        max_packets: int | None = None,
+    ) -> None:
+        if not keys:
+            raise ValueError("synthetic source needs a non-empty key set")
+        if rate_pps <= 0:
+            raise ValueError(f"rate_pps must be positive, got {rate_pps}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        self.burst = KeyBurst(keys)
+        self.rate_pps = rate_pps
+        self.duration = duration
+        self.tick = tick
+        self.start_time = start_time
+        self.max_packets = max_packets
+
+    def describe(self) -> dict:
+        return {
+            "type": "synthetic",
+            "keys": len(self.burst),
+            "rate_pps": self.rate_pps,
+            "duration": self.duration,
+            "tick": self.tick,
+        }
+
+    def batches(self) -> Iterator[tuple[float, list[FlowKey]]]:
+        """Yield ``(now, keys)`` bursts until the duration (or packet
+        budget) is exhausted.  Idle ticks yield empty bursts so the
+        datapath clock — and its revalidator — keeps advancing."""
+        t = self.start_time
+        end = self.start_time + self.duration
+        sent = 0
+        cursor = 0
+        while t < end:
+            t = min(t + self.tick, end)
+            due = int(round((t - self.start_time) * self.rate_pps)) - sent
+            if self.max_packets is not None:
+                due = min(due, self.max_packets - sent)
+            keys = self.burst.cyclic_slice(cursor, due)
+            cursor += due
+            sent += due
+            yield t, keys
+            if self.max_packets is not None and sent >= self.max_packets:
+                return
+
+
+class PcapSource:
+    """Replay a capture through the real frame parser.
+
+    Frames are parsed with
+    :func:`~repro.flow.extract.flow_key_from_packet` and grouped into
+    bursts of ``batch_size`` (a NIC rx-ring drain, not a timer); each
+    burst carries the capture timestamp of its last frame so the
+    datapath clock follows recorded time.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        space: FieldSpace = OVS_FIELDS,
+        batch_size: int = 256,
+        in_port: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.path = Path(path)
+        self.space = space
+        self.batch_size = batch_size
+        self.in_port = in_port
+
+    def describe(self) -> dict:
+        return {
+            "type": "pcap",
+            "path": str(self.path),
+            "batch_size": self.batch_size,
+        }
+
+    def batches(self) -> Iterator[tuple[float, list[FlowKey]]]:
+        from repro.flow.extract import flow_key_from_packet
+        from repro.net.pcap import PcapReader
+
+        batch: list[FlowKey] = []
+        last_ts = 0.0
+        for packet in PcapReader(self.path):
+            batch.append(
+                flow_key_from_packet(
+                    packet.data, in_port=self.in_port, space=self.space
+                )
+            )
+            last_ts = packet.timestamp
+            if len(batch) >= self.batch_size:
+                yield last_ts, batch
+                batch = []
+        if batch:
+            yield last_ts, batch
+
+
+def observe_datapath(datapath) -> list[dict]:
+    """Per-shard observable snapshots for either runtime: the parallel
+    datapath's one-round-per-shard :meth:`observe`, or the same dict
+    built directly from a serial datapath's shard switches."""
+    observe = getattr(datapath, "observe", None)
+    if observe is not None:
+        return observe()
+    shards = getattr(datapath, "shards", None) or [datapath]
+    return [_observe_switch(shard) for shard in shards]
+
+
+@dataclasses.dataclass
+class ServeReport:
+    """Everything one serve run produced.
+
+    ``snapshots`` and ``final`` each split into ``state`` (simulated-
+    time deterministic — the equivalence gate compares exactly this),
+    ``detector`` and ``wall`` (timing; never compared).
+    """
+
+    source: dict
+    workers: int  #: worker processes (0 = the serial reference ran)
+    snapshots: list[dict]
+    final: dict
+    packets: int
+    batches: int
+    wall_seconds: float
+    stopped_by: str  #: "end-of-stream" | "signal:SIGINT" | ...
+
+    @property
+    def packets_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.packets / self.wall_seconds
+
+    def deterministic_view(self) -> dict:
+        """The wall-clock-free projection: what must match between the
+        serial reference and the parallel runtime, byte for byte."""
+        return {
+            "series": [
+                {"state": s["state"], "detector": s["detector"]}
+                for s in self.snapshots
+            ],
+            "final": {
+                "state": self.final["state"],
+                "detector": self.final["detector"],
+            },
+            "packets": self.packets,
+            "batches": self.batches,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "workers": self.workers,
+            "snapshots": self.snapshots,
+            "final": self.final,
+            "packets": self.packets,
+            "batches": self.batches,
+            "wall_seconds": self.wall_seconds,
+            "packets_per_second": self.packets_per_second,
+            "stopped_by": self.stopped_by,
+        }
+
+    def render(self) -> str:
+        """The operator-facing final report."""
+        state = self.final["state"]
+        detector = self.final["detector"]
+        runtime = (
+            f"parallel ({self.workers} workers)" if self.workers else "serial"
+        )
+        lines = [
+            f"serve finished: {self.stopped_by}",
+            f"  runtime        {runtime}",
+            f"  packets        {self.packets} in {self.batches} bursts "
+            f"({self.packets_per_second:,.0f} pkt/s wall)",
+            f"  masks          {state['mask_count']} max/shard, "
+            f"{state['total_mask_count']} total "
+            f"(per shard: {state['shard_mask_counts']})",
+            f"  megaflows      {state['megaflows']}",
+            f"  emc hits       {state['stats']['emc_hits']}",
+            f"  megaflow hits  {state['stats']['megaflow_hits']}",
+            f"  upcalls        {state['stats']['upcalls']}",
+            f"  tuples scanned {state['stats']['tuples_scanned']}",
+            f"  detector       "
+            + (
+                f"ALERT (>= {detector['threshold']} masks on a shard)"
+                if detector["alert"]
+                else f"quiet (threshold {detector['threshold']})"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+class ServeService:
+    """The serve loop: drain a source into a datapath, snapshot on a
+    simulated-time cadence, shut down gracefully.
+
+    Signal handlers (SIGINT/SIGTERM) are installed only for the
+    duration of :meth:`run` and only on the main thread; they request a
+    stop, which the loop honours *after* the in-flight burst — so the
+    final snapshot always reflects a burst boundary, never a torn one.
+    """
+
+    def __init__(
+        self,
+        datapath,
+        source,
+        report_interval: float = 1.0,
+        detect_threshold: int = DEFAULT_DETECT_THRESHOLD,
+        workers: int = 0,
+        close_datapath: bool = True,
+    ) -> None:
+        if report_interval <= 0:
+            raise ValueError(
+                f"report_interval must be positive, got {report_interval}"
+            )
+        self.datapath = datapath
+        self.source = source
+        self.report_interval = report_interval
+        self.detect_threshold = detect_threshold
+        self.workers = workers
+        self.close_datapath = close_datapath
+        self.packets = 0
+        self.batches = 0
+        self._stop_requested = False
+        self._stop_reason = "signal"
+        self._installed_handlers: dict[int, object] = {}
+
+    # -- shutdown ------------------------------------------------------------
+
+    def request_stop(self, reason: str = "stop-requested") -> None:
+        """Ask the loop to stop after the in-flight burst (what the
+        signal handlers call; safe from any thread)."""
+        self._stop_requested = True
+        self._stop_reason = reason
+
+    def _handle_signal(self, signum, frame) -> None:
+        self.request_stop(f"signal:{signal.Signals(signum).name}")
+
+    def _install_signal_handlers(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return  # signal.signal() only works on the main thread
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            self._installed_handlers[signum] = signal.signal(
+                signum, self._handle_signal
+            )
+
+    def _restore_signal_handlers(self) -> None:
+        for signum, previous in self._installed_handlers.items():
+            signal.signal(signum, previous)
+        self._installed_handlers.clear()
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, now: float, wall_elapsed: float) -> dict:
+        """One live snapshot: deterministic ``state`` + ``detector``
+        (compared by the equivalence gate) and ``wall`` timing (not)."""
+        observed = observe_datapath(self.datapath)
+        stats = SwitchStats.merge(*(o["stats"] for o in observed))
+        masks = [o["mask_count"] for o in observed]
+        state = {
+            "time": now,
+            "packets": self.packets,
+            "stats": dataclasses.asdict(stats),
+            "shard_mask_counts": masks,
+            "mask_count": max(masks),
+            "total_mask_count": sum(masks),
+            "megaflows": sum(o["megaflow_count"] for o in observed),
+            "tss_lookups": sum(o["tss_lookups"] for o in observed),
+        }
+        detector = {
+            "threshold": self.detect_threshold,
+            "max_shard_masks": max(masks),
+            "alert": max(masks) >= self.detect_threshold,
+        }
+        wall = {
+            "elapsed_s": wall_elapsed,
+            "pps": self.packets / wall_elapsed if wall_elapsed > 0 else 0.0,
+        }
+        return {"state": state, "detector": detector, "wall": wall}
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self, on_snapshot=None) -> ServeReport:
+        """Drain the source.  ``on_snapshot(snap)`` is called for each
+        periodic snapshot (the CLI prints them live); the final
+        snapshot is always taken, whatever stopped the loop."""
+        t0 = time.perf_counter()
+        stopped_by = "end-of-stream"
+        snapshots: list[dict] = []
+        next_report: float | None = None
+        now = 0.0
+        self._install_signal_handlers()
+        try:
+            for now, keys in self.source.batches():
+                batch = self.datapath.process_batch(
+                    keys, now=now, materialize=False
+                )
+                self.packets += batch.packets
+                self.batches += 1
+                if next_report is None:
+                    next_report = now + self.report_interval
+                if now + 1e-12 >= next_report:
+                    snap = self.snapshot(now, time.perf_counter() - t0)
+                    snapshots.append(snap)
+                    if on_snapshot is not None:
+                        on_snapshot(snap)
+                    while next_report <= now + 1e-12:
+                        next_report += self.report_interval
+                if self._stop_requested:
+                    stopped_by = self._stop_reason
+                    break
+            final = self.snapshot(now, time.perf_counter() - t0)
+            report = ServeReport(
+                source=self.source.describe(),
+                workers=self.workers,
+                snapshots=snapshots,
+                final=final,
+                packets=self.packets,
+                batches=self.batches,
+                wall_seconds=time.perf_counter() - t0,
+                stopped_by=stopped_by,
+            )
+        finally:
+            self._restore_signal_handlers()
+            if self.close_datapath:
+                close = getattr(self.datapath, "close", None)
+                if close is not None:
+                    close()
+        return report
+
+
+def build_service(
+    spec,
+    workers: int = 0,
+    pcap: str | Path | None = None,
+    rate_pps: float | None = None,
+    duration: float = 10.0,
+    tick: float = DEFAULT_TICK,
+    max_packets: int | None = None,
+    batch_size: int = 256,
+    report_interval: float = 1.0,
+    detect_threshold: int = DEFAULT_DETECT_THRESHOLD,
+    close_datapath: bool = True,
+) -> ServeService:
+    """Assemble a serve service from a scenario spec.
+
+    The spec contributes the attack surface (compiled rules + covert
+    key set), the datapath profile, and the shard/RSS configuration;
+    ``workers`` picks the runtime — 0 runs the serial
+    :class:`ShardedDatapath` reference with the spec's shard count,
+    ``N > 0`` runs the parallel runtime with ``N`` worker processes.
+    Shard construction is identical either way (same factory, same
+    :func:`~repro.ovs.pmd.shard_seed` derivation), which is what makes
+    the two runtimes' snapshot series byte-comparable.
+
+    Serve always runs with the PMD auto-lb and defenses disabled: both
+    live outside the aggregate-only wire format, and the serial run
+    must stay a valid reference for the parallel one.
+    """
+    from repro.perf.factory import sharded_switch_for_profile
+    from repro.scenario.session import Session
+
+    session = Session(spec)
+    spec = session.spec
+    if spec.defenses:
+        raise ValueError(
+            "serve runs the raw datapath: defenses attach install guards, "
+            "which the parallel runtime rejects and which would desync "
+            "the serial reference; use `repro scenario` for defended runs"
+        )
+    if spec.rebalance_interval:
+        raise ValueError(
+            "serve always runs with the PMD auto-lb disabled (the "
+            "aggregate-only wire carries no per-bucket load); drop "
+            "rebalance_interval from the spec"
+        )
+    shards = spec.shards or session.profile.shards or 1
+    name = f"{spec.name}-serve"
+    common = dict(
+        space=session.space,
+        staged_lookup=spec.staged_lookup,
+        seed=spec.seed,
+        scan_order=spec.scan_order or None,
+        key_mode=spec.key_mode,
+        reta_size=spec.reta_size or session.profile.reta_size,
+    )
+    if workers:
+        datapath = ParallelDatapath.from_profile(
+            session.profile, shards=workers, name=name, **common
+        )
+    else:
+        datapath = sharded_switch_for_profile(
+            session.profile,
+            shards=shards,
+            name=name,
+            rebalance_interval=0.0,
+            **common,
+        )
+    rules = session.surface.compile_rules(
+        session.policy, session.target, session.space
+    )
+    # applied before any fork: parallel workers inherit the compiled
+    # tables by memory, exactly as the serial shards hold them
+    datapath.add_rules(rules)
+    if pcap is not None:
+        source = PcapSource(
+            pcap, space=session.space, batch_size=batch_size
+        )
+    else:
+        keys = session.surface.covert_keys(
+            session.dimensions, session.target, session.space
+        )
+        default_rate = AttackerWorkload(
+            rate_bps=spec.covert_rate_bps,
+            frame_bytes=spec.covert_frame_bytes,
+        ).rate_pps
+        source = SyntheticSource(
+            keys,
+            rate_pps=rate_pps or default_rate,
+            duration=duration,
+            tick=tick,
+            max_packets=max_packets,
+        )
+    return ServeService(
+        datapath,
+        source,
+        report_interval=report_interval,
+        detect_threshold=detect_threshold,
+        workers=workers,
+        close_datapath=close_datapath,
+    )

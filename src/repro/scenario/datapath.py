@@ -60,7 +60,8 @@ class Datapath(Protocol):
                 now: float | None = None) -> PacketResult: ...
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
-                      now: float | None = None) -> BatchResult: ...
+                      now: float | None = None,
+                      materialize: bool = True) -> BatchResult: ...
 
     def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None: ...
 
@@ -144,7 +145,8 @@ class CachelessDatapath:
         return self.process_batch((key_or_packet,), now=now).results[0]
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
-                      now: float | None = None) -> BatchResult:
+                      now: float | None = None,
+                      materialize: bool = True) -> BatchResult:
         if now is not None and now > self.clock:
             self.clock = now  # monotonic, like OvsSwitch
         batch = BatchResult()
@@ -152,15 +154,23 @@ class CachelessDatapath:
         for key in keys:
             outcome = classify(key)
             self.tss_lookups += 1
-            batch.add(
-                PacketResult(
-                    action=outcome.action,
-                    path=LookupPath.CACHELESS,
-                    tuples_scanned=outcome.groups_probed,
-                    hash_probes=outcome.groups_probed,
-                    entry=None,
+            if materialize:
+                batch.add(
+                    PacketResult(
+                        action=outcome.action,
+                        path=LookupPath.CACHELESS,
+                        tuples_scanned=outcome.groups_probed,
+                        hash_probes=outcome.groups_probed,
+                        entry=None,
+                    )
                 )
-            )
+            else:
+                batch.tally(
+                    LookupPath.CACHELESS,
+                    outcome.action.is_forwarding(),
+                    outcome.groups_probed,
+                    outcome.groups_probed,
+                )
         return batch
 
     def handle_miss(self, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:

@@ -192,6 +192,26 @@ SCENARIOS.register(
     ),
 )
 SCENARIOS.register(
+    "k8s-serve",
+    ScenarioSpec(
+        surface="k8s",
+        name="k8s-serve",
+        backend="sharded",
+        profile="kernel-noemc",
+        shards=4,
+        duration=30.0,
+        attack_start=0.0,
+        description="the deep-scan serve workload: the 512-mask "
+        "Kubernetes covert stream replayed live through `repro serve` "
+        "— EMC insertion off, so every packet after the first lap "
+        "deep-scans the exploded subtable list on its shard.  The "
+        "per-packet scan dominates the IPC cost, which is what makes "
+        "the multi-process runtime's speedup near-linear; "
+        "BENCH_serve gates serial↔parallel equivalence and >=2x "
+        "packets/s at 4 workers on this spec",
+    ),
+)
+SCENARIOS.register(
     "spread-campaign",
     ScenarioSpec(
         surface="k8s",

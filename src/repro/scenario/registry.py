@@ -541,3 +541,37 @@ def _cacheless_backend(profile: DatapathProfile, space: FieldSpace, name: str,
         "cacheless", rebalance_improvement, rebalance_load_floor
     )
     return CachelessDatapath(space, name=name)
+
+
+@BACKENDS.register("parallel")
+def _parallel_backend(profile: DatapathProfile, space: FieldSpace, name: str,
+                      seed: int = 0, staged: bool = False, scan_order: str = "",
+                      key_mode: str = "packed", shards: int = 1,
+                      reta_size: int = 0,
+                      rebalance_interval: float | None = None,
+                      rebalance_improvement: float | None = None,
+                      rebalance_load_floor: float | None = None) -> Datapath:
+    """The multi-process runtime: each PMD shard's switch on its own
+    worker process, fed over the aggregate-only mailbox (see
+    :mod:`repro.runtime.parallel`).  Shard construction matches the
+    ``sharded`` backend exactly, so a spec can swap between them and
+    compare observables.  Aggregate-only by design: probe-style runs
+    (``Session.measure``) work; campaigns and defenses, which need
+    per-packet results or parent-side cache entries, fail loudly.  The
+    import is deferred so listing backends never forks anything."""
+    if rebalance_interval:
+        raise ValueError(
+            "the parallel runtime cannot run the PMD auto-lb (no "
+            "per-bucket load crosses the aggregate-only wire); use the "
+            "'sharded' backend for rebalancing studies"
+        )
+    _reject_unsharded_rebalance(
+        "parallel", rebalance_improvement, rebalance_load_floor
+    )
+    from repro.runtime.parallel import ParallelDatapath
+
+    return ParallelDatapath.from_profile(
+        profile, space=space, name=name, shards=shards,
+        staged_lookup=staged, seed=seed, scan_order=scan_order or None,
+        key_mode=key_mode, reta_size=reta_size,
+    )

@@ -522,15 +522,16 @@ class VecSwitch(OvsSwitch):
 
     # -- batched slow-path bookkeeping ---------------------------------------
 
-    def _flush_run(self, run, run_set, batch: BatchResult, now: float) -> None:
+    def _flush_run(self, run, run_set, batch: BatchResult, now: float,
+                   materialize: bool = True) -> None:
         """The inherited run drain with the megaflow-hit bookkeeping
         folded per chunk: a chunk whose every key hit (the prefix
         contract puts the only possible miss last) updates the switch
         and batch counters once instead of per packet.  The per-key
         work that is stateful stays per-key, in key order — the EMC
-        insert (its RNG draw and any stored slot) and the
-        ``PacketResult`` list the caller reads — so the exit state is
-        bit-identical to the reference loop."""
+        insert (its RNG draw and any stored slot) and, in materialized
+        mode, the ``PacketResult`` list the caller reads — so the exit
+        state is bit-identical to the reference loop."""
         start = 0
         window = self._batch_window
         n = len(run)
@@ -549,17 +550,20 @@ class VecSwitch(OvsSwitch):
                     entry = tss_result.entry
                     if insert(key, entry, now):
                         note_insert(key)
-                    result = PacketResult(
-                        action=entry.action,
-                        path=LookupPath.MEGAFLOW,
-                        tuples_scanned=tss_result.tuples_scanned,
-                        hash_probes=tss_result.hash_probes,
-                        entry=entry,
-                    )
-                    append(result)
                     tuples += tss_result.tuples_scanned
                     probes += tss_result.hash_probes
-                    if result.forwarded:
+                    if materialize:
+                        result = PacketResult(
+                            action=entry.action,
+                            path=LookupPath.MEGAFLOW,
+                            tuples_scanned=tss_result.tuples_scanned,
+                            hash_probes=tss_result.hash_probes,
+                            entry=entry,
+                        )
+                        append(result)
+                        if result.forwarded:
+                            forwarded += 1
+                    elif entry.action.is_forwarding():
                         forwarded += 1
                 served = len(results)
                 stats.megaflow_hits += served
@@ -567,6 +571,7 @@ class VecSwitch(OvsSwitch):
                 stats.hash_probes += probes
                 stats.forwarded += forwarded
                 stats.drops += served - forwarded
+                batch.packets += served
                 batch.megaflow_hits += served
                 batch.tuples_scanned += tuples
                 batch.hash_probes += probes
@@ -580,9 +585,11 @@ class VecSwitch(OvsSwitch):
             # prefix): replay it through the reference finishers
             for key, tss_result in zip(chunk, results):
                 if tss_result.hit:
-                    batch.add(self._finish_megaflow_hit(key, tss_result, now))
+                    self._finish_megaflow_hit(key, tss_result, now, batch,
+                                              materialize)
                 else:
-                    batch.add(self._finish_upcall(key, tss_result, now))
+                    self._finish_upcall(key, tss_result, now, batch,
+                                        materialize)
                     window = 1
             start += len(results) if results else len(chunk)
         self._batch_window = window
@@ -592,13 +599,14 @@ class VecSwitch(OvsSwitch):
     # -- the vectorized batch pipeline --------------------------------------
 
     def process_batch(self, keys: Sequence[FlowKey] | Iterable[FlowKey],
-                      now: float | None = None) -> BatchResult:
+                      now: float | None = None,
+                      materialize: bool = True) -> BatchResult:
         if not isinstance(keys, (list, tuple)):
             keys = list(keys)
         if len(keys) < self.VEC_MIN_BATCH:
             # the inherited pipeline (which still scans the TSS through
             # the vectorized subclass) is cheaper for tiny bursts
-            return super().process_batch(keys, now=now)
+            return super().process_batch(keys, now=now, materialize=materialize)
         now = self._advance(now)
         self.revalidator.maybe_sweep(now)
         store = self._emc_store
@@ -629,7 +637,7 @@ class VecSwitch(OvsSwitch):
                 if run and (
                     key in run_set or (possible and microflow.contains(key))
                 ):
-                    self._flush_run(run, run_set, batch, now)
+                    self._flush_run(run, run_set, batch, now, materialize)
                     # the flush may have installed this very key (every
                     # insert lands in the overlay, so the re-check
                     # restores the superset guarantee)
@@ -642,14 +650,14 @@ class VecSwitch(OvsSwitch):
                     certain_misses += 1
                     entry = None
                 if entry is not None:
-                    batch.add(self._finish_microflow_hit(entry, now))
+                    self._finish_microflow_hit(entry, now, batch, materialize)
                 else:
                     run.append(key)
                     run_set.add(key)
             self.stats.packets += len(keys)
             microflow.lookups += certain_misses
             if run:
-                self._flush_run(run, run_set, batch, now)
+                self._flush_run(run, run_set, batch, now, materialize)
             return batch
         # mixed burst: one vectorized flag conversion, then the
         # reference per-key resolve (possible residents must probe the
@@ -663,7 +671,7 @@ class VecSwitch(OvsSwitch):
             if run and (
                 key in run_set or (possible and microflow.contains(key))
             ):
-                self._flush_run(run, run_set, batch, now)
+                self._flush_run(run, run_set, batch, now, materialize)
                 # the flush may have inserted this very key (every
                 # insert lands in the overlay, so re-checking it is
                 # enough to restore the superset guarantee)
@@ -677,12 +685,12 @@ class VecSwitch(OvsSwitch):
                 microflow.lookups += 1
                 entry = None
             if entry is not None:
-                batch.add(self._finish_microflow_hit(entry, now))
+                self._finish_microflow_hit(entry, now, batch, materialize)
             else:
                 run.append(key)
                 run_set.add(key)
         if run:
-            self._flush_run(run, run_set, batch, now)
+            self._flush_run(run, run_set, batch, now, materialize)
         return batch
 
     def __repr__(self) -> str:

@@ -1,0 +1,51 @@
+"""craft → serve: the covert stream as a pcap, replayed live.
+
+The attacker-tooling chain end to end: ``repro craft`` exports the
+k8s covert stream as a capture, ``repro serve --pcap`` replays it
+through a live datapath, and the resulting mask explosion matches the
+equivalent in-process scenario run (``Session.measure``) exactly —
+on both the serial and the parallel runtime.
+"""
+
+import pytest
+
+from repro.attack.packets import CovertStreamGenerator
+from repro.net.addresses import ip_to_int
+from repro.runtime.service import build_service
+from repro.scenario.presets import SCENARIOS
+from repro.scenario.session import Session
+
+
+@pytest.fixture(scope="module")
+def covert_pcap(tmp_path_factory):
+    """What `repro craft k8s --dst-ip 10.0.9.10` writes: the covert
+    stream aimed at the scenario's attacker pod."""
+    spec = SCENARIOS.get("k8s-serve")
+    session = Session(spec)
+    generator = CovertStreamGenerator(
+        session.dimensions, dst_ip=ip_to_int(spec.attacker_pod_ip)
+    )
+    path = tmp_path_factory.mktemp("pcap") / "k8s-covert.pcap"
+    count = generator.write_pcap(str(path), rate_pps=1000.0)
+    assert count == 512
+    return path
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_replayed_stream_matches_scenario_measure(covert_pcap, workers):
+    spec = SCENARIOS.get("k8s-serve").evolve(shards=2)
+    service = build_service(spec, workers=workers, pcap=covert_pcap)
+    report = service.run()
+    assert report.packets == 512
+    # the same explosion the in-process probe measures
+    probe = Session(spec).measure()
+    assert report.final["state"]["total_mask_count"] == probe.measured == 512
+    assert report.final["state"]["stats"]["upcalls"] == 512
+    assert report.final["detector"]["alert"]
+
+
+def test_serial_and_parallel_replay_agree(covert_pcap):
+    spec = SCENARIOS.get("k8s-serve").evolve(shards=2)
+    serial = build_service(spec, workers=0, pcap=covert_pcap).run()
+    parallel = build_service(spec, workers=2, pcap=covert_pcap).run()
+    assert serial.deterministic_view() == parallel.deterministic_view()

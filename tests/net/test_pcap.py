@@ -80,6 +80,46 @@ class TestRoundTrip:
         assert reader.linktype == LINKTYPE_ETHERNET
 
 
+class TestCovertStreamRoundTrip:
+    """The craft→replay contract: a covert stream exported with
+    ``write_pcap`` and read back through the real frame parser yields
+    the exact flow keys the generator would feed the datapath — the
+    regression the ``repro serve --pcap`` path depends on."""
+
+    def _generator(self):
+        from repro.attack.packets import CovertStreamGenerator
+        from repro.net.addresses import ip_to_int
+        from repro.scenario.registry import SURFACES
+
+        surface = SURFACES.get("k8s")
+        _policy, dimensions = surface.build()
+        return CovertStreamGenerator(
+            dimensions, dst_ip=ip_to_int("10.0.9.10")
+        )
+
+    def test_keys_survive_the_pcap(self, tmp_path):
+        from repro.flow.extract import flow_key_from_packet
+
+        generator = self._generator()
+        path = tmp_path / "covert.pcap"
+        count = generator.write_pcap(str(path), rate_pps=1000.0)
+        expected = generator.keys()
+        assert count == len(expected) == 512
+        recovered = [
+            flow_key_from_packet(p.data, space=generator.space)
+            for p in PcapReader(path)
+        ]
+        assert [k.packed for k in recovered] == [
+            k.packed for k in expected
+        ]
+
+    def test_write_all_and_reader_agree_on_count(self, tmp_path):
+        generator = self._generator()
+        path = tmp_path / "covert.pcap"
+        written = generator.write_pcap(str(path), rate_pps=820.0)
+        assert len(PcapReader(path).read_all()) == written
+
+
 class TestReaderErrors:
     def test_not_a_pcap(self, tmp_path):
         path = tmp_path / "bad.pcap"

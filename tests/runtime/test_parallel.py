@@ -1,0 +1,274 @@
+"""The multi-process runtime vs its serial reference.
+
+The hard contract: :class:`ParallelDatapath` is *observationally
+identical* to :class:`~repro.ovs.pmd.ShardedDatapath` built with the
+same arguments — per-burst aggregate counters, merged stats, per-shard
+mask counts, everything the aggregate-only wire carries.  Plus the loud
+refusals (materialized results, per-packet entry APIs, auto-lb,
+defenses) and the worker-crash diagnostics.
+"""
+
+import dataclasses
+import os
+import signal
+
+import pytest
+
+from repro.ovs.pmd import ShardedDatapath
+from repro.perf.factory import sharded_switch_for_profile, switch_for_profile
+from repro.runtime.parallel import (
+    BATCH_WIRE_FIELDS,
+    ParallelDatapath,
+    WorkerCrashError,
+)
+from repro.scenario.session import Session
+from repro.scenario.spec import ScenarioSpec
+
+
+@pytest.fixture(scope="module")
+def k8s():
+    """The 512-mask Kubernetes surface: space, compiled rules, covert
+    keys — enough to explode real mask state on every shard."""
+    session = Session(ScenarioSpec(surface="k8s", profile="kernel"))
+    rules = session.surface.compile_rules(
+        session.policy, session.target, session.space
+    )
+    keys = session.surface.covert_keys(
+        session.dimensions, session.target, session.space
+    )
+    return session.space, rules, keys
+
+
+def _serial(space, rules, shards, profile="kernel"):
+    dp = sharded_switch_for_profile(
+        profile, space=space, shards=shards, seed=7, name="ref",
+        rebalance_interval=0.0,
+    )
+    dp.add_rules(rules)
+    return dp
+
+
+def _parallel(space, rules, shards, profile="kernel"):
+    dp = ParallelDatapath.from_profile(
+        profile, space=space, shards=shards, seed=7, name="ref"
+    )
+    dp.add_rules(rules)
+    return dp
+
+
+def _counters(batch):
+    return tuple(getattr(batch, f) for f in BATCH_WIRE_FIELDS)
+
+
+def _final_state(dp):
+    return {
+        "stats": dataclasses.asdict(dp.stats),
+        "shard_masks": dp.shard_mask_counts,
+        "mask_count": dp.mask_count,
+        "total_mask_count": dp.total_mask_count,
+        "megaflow_count": dp.megaflow_count,
+        "tss_lookups": dp.tss_lookups,
+        "rule_count": dp.rule_count,
+    }
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matches_serial_reference(self, k8s, shards):
+        """Burst for burst and counter for counter: install laps,
+        revisit laps (EMC + megaflow hits), an idle-expiry gap, and an
+        empty keep-alive burst all aggregate identically."""
+        space, rules, keys = k8s
+        serial = _serial(space, rules, shards)
+        with _parallel(space, rules, shards) as par:
+            schedule = [
+                (0.1, keys),            # install lap: all upcalls
+                (0.2, keys[:200]),      # revisit: cache hits
+                (0.3, keys[::3]),       # strided revisit
+                (0.4, []),              # idle tick (clock still advances)
+                (25.0, keys[:64]),      # after the 10 s idle timeout
+            ]
+            for now, burst in schedule:
+                ref = serial.process_batch(burst, now=now, materialize=False)
+                got = par.process_batch(burst, now=now)
+                assert _counters(got) == _counters(ref), f"burst at t={now}"
+            assert _final_state(par) == _final_state(serial)
+            assert par.expected_scan_depth() == pytest.approx(
+                serial.expected_scan_depth()
+            )
+
+    def test_noemc_profile_matches(self, k8s):
+        """The deep-scan serve profile (EMC insertion off) — the
+        BENCH_serve workload — is equivalent too."""
+        space, rules, keys = k8s
+        serial = _serial(space, rules, 2, profile="kernel-noemc")
+        with _parallel(space, rules, 2, profile="kernel-noemc") as par:
+            for now in (0.1, 0.2, 0.3):
+                ref = serial.process_batch(keys, now=now, materialize=False)
+                got = par.process_batch(keys, now=now)
+                assert _counters(got) == _counters(ref)
+            assert _final_state(par) == _final_state(serial)
+
+    def test_dispatch_matches_serial_reta(self, k8s):
+        """A key's shard index is the same arithmetic under either
+        runtime (the RETA identity contract)."""
+        space, rules, keys = k8s
+        serial = _serial(space, rules, 4)
+        par = ParallelDatapath.from_profile(
+            "kernel", space=space, shards=4, seed=7, name="ref"
+        )
+        try:
+            for key in keys[:128]:
+                assert par.bucket_of(key) == serial.bucket_of(key)
+                assert par.shard_of(key) == serial.shard_of(key)
+        finally:
+            par.close()
+
+
+class TestLifecycle:
+    def test_lazy_start(self, k8s):
+        space, rules, keys = k8s
+        with _parallel(space, rules, 2) as par:
+            assert not par.started
+            par.process_batch(keys[:8], now=0.1)
+            assert par.started
+
+    def test_pre_start_observables_run_locally(self, k8s):
+        space, rules, _keys = k8s
+        with _parallel(space, rules, 2) as par:
+            assert not par.started
+            assert par.rule_count == len(rules)
+            assert par.mask_count == 0
+            assert par.stats.packets == 0
+            assert not par.started  # observing never forks
+
+    def test_post_start_rule_broadcast(self, k8s):
+        """Rules added after the fork broadcast over the mailboxes and
+        land on every worker (rule_count is read back from a worker)."""
+        space, rules, keys = k8s
+        with _parallel(space, rules, 2) as par:
+            par.process_batch(keys[:8], now=0.1)
+            before = par.rule_count
+            par.add_rules(rules[:3])  # duplicates still append
+            assert par.rule_count == before + 3
+
+    def test_invalidate_broadcast(self, k8s):
+        space, rules, keys = k8s
+        with _parallel(space, rules, 2) as par:
+            par.process_batch(keys, now=0.1)
+            assert par.megaflow_count > 0
+            par.invalidate_caches()
+            assert par.megaflow_count == 0
+            assert par.total_mask_count == 0
+
+    def test_close_is_idempotent(self, k8s):
+        space, rules, keys = k8s
+        par = _parallel(space, rules, 2)
+        par.process_batch(keys[:8], now=0.1)
+        par.close()
+        par.close()
+        assert all(not p.is_alive() for p in par._procs)
+
+    def test_use_after_close_is_loud(self, k8s):
+        space, rules, keys = k8s
+        par = _parallel(space, rules, 2)
+        par.process_batch(keys[:8], now=0.1)
+        par.close()
+        with pytest.raises(WorkerCrashError):
+            par.process_batch(keys[:8], now=0.2)
+
+
+class TestRefusals:
+    def test_materialize_rejected(self, k8s):
+        space, rules, keys = k8s
+        with _parallel(space, rules, 2) as par:
+            with pytest.raises(ValueError, match="aggregate-only"):
+                par.process_batch(keys[:8], now=0.1, materialize=True)
+
+    def test_process_rejected(self, k8s):
+        space, rules, keys = k8s
+        with _parallel(space, rules, 2) as par:
+            with pytest.raises(ValueError, match="aggregate-only"):
+                par.process(keys[0], now=0.1)
+
+    def test_handle_miss_rejected(self, k8s):
+        space, rules, keys = k8s
+        with _parallel(space, rules, 2) as par:
+            with pytest.raises(ValueError, match="worker memory"):
+                par.handle_miss(keys[0], now=0.1)
+
+    def test_install_guard_rejected(self, k8s):
+        space, rules, _keys = k8s
+        with _parallel(space, rules, 2) as par:
+            with pytest.raises(ValueError, match="install-guard"):
+                par.add_install_guard(object())
+
+    def test_rebalance_rejected(self, k8s):
+        space, _rules, _keys = k8s
+        with pytest.raises(ValueError, match="auto-lb"):
+            ParallelDatapath(
+                space,
+                shard_factory=lambda i: switch_for_profile(
+                    "kernel", space=space, seed=i
+                ),
+                shards=2,
+                rebalance_interval=5.0,
+            )
+
+    def test_backend_registry_rejects_rebalance(self):
+        from repro.scenario.registry import BACKENDS
+
+        spec = ScenarioSpec(
+            surface="k8s", backend="parallel", shards=2,
+            rebalance_interval=5.0,
+        )
+        with pytest.raises(ValueError, match="auto-lb"):
+            Session(spec).build_datapath()
+
+
+class TestCrashDetection:
+    def test_killed_worker_raises_loud(self, k8s):
+        """A SIGKILLed worker turns into a WorkerCrashError naming the
+        shard — never a hang on the dead pipe."""
+        space, rules, keys = k8s
+        with _parallel(space, rules, 2) as par:
+            par.process_batch(keys, now=0.1)
+            victim = par._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(10.0)
+            with pytest.raises(WorkerCrashError, match="shard worker 0"):
+                par.process_batch(keys, now=0.2)
+
+    def test_crash_error_names_shard_and_exitcode(self, k8s):
+        space, rules, keys = k8s
+        with _parallel(space, rules, 2) as par:
+            par.process_batch(keys, now=0.1)
+            victim = par._procs[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(10.0)
+            # steer the whole burst at the dead shard so the error must
+            # come from it specifically
+            shard1_keys = [k for k in keys if par.shard_of(k) == 1]
+            assert shard1_keys
+            with pytest.raises(WorkerCrashError) as excinfo:
+                par.process_batch(shard1_keys, now=0.2)
+            message = str(excinfo.value)
+            assert "shard worker 1" in message
+            assert "exit code" in message
+
+
+class TestBackend:
+    def test_session_measure_matches_sharded(self):
+        """The registered 'parallel' backend serves probe-style runs
+        with the same measured mask count as 'sharded'."""
+        measured = {}
+        for backend in ("sharded", "parallel"):
+            spec = ScenarioSpec(
+                surface="k8s", profile="kernel", backend=backend, shards=4
+            )
+            probe = Session(spec).measure()
+            measured[backend] = probe.measured
+            close = getattr(probe.datapath, "close", None)
+            if close is not None:
+                close()
+        assert measured["parallel"] == measured["sharded"] == 512
