@@ -16,4 +16,6 @@ setup(
     # pure stdlib, and repro degrades gracefully (clear error from the
     # vec backend, all other backends unaffected) when it is missing
     install_requires=["numpy"],
+    # `repro lint` / `repro scenario` etc. from the shell once installed
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

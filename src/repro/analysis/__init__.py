@@ -1,0 +1,40 @@
+"""repro-lint: the repo-specific static-analysis framework.
+
+The reproduction rests on contracts the test suite can only
+spot-check — bit-identical series across backends, seeded-RNG-only
+determinism, monotonic simulated clocks, batch-first hot paths,
+numpy-free imports outside :mod:`repro.vec`, and a frozen parent after
+the parallel runtime forks.  This package machine-checks them:
+
+* :mod:`repro.analysis.core` — :class:`Finding`, the :class:`Checker`
+  base, the :data:`CHECKERS` registry, pragma parsing;
+* :mod:`repro.analysis.checkers` — the AST rules (determinism,
+  wall-clock, batch-first, numpy gating, fork safety, monotonic
+  clocks);
+* :mod:`repro.analysis.project` — the live-registry rules (Datapath
+  protocol conformance, registry hygiene);
+* :mod:`repro.analysis.baseline` — grandfathered findings;
+* :mod:`repro.analysis.runner` — ``repro lint``.
+
+Suppress one finding with a trailing
+``# repro-lint: disable=<rule>`` pragma; grandfather the rest in the
+committed ``LINT_BASELINE.json``.  ``repro lint`` exits non-zero on
+anything new.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import CHECKERS, Checker, Finding, SourceFile
+from repro.analysis.runner import LintResult, main, run_lint
+
+__all__ = [
+    "Baseline",
+    "CHECKERS",
+    "Checker",
+    "Finding",
+    "LintResult",
+    "SourceFile",
+    "main",
+    "run_lint",
+]

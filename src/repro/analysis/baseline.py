@@ -1,0 +1,99 @@
+"""The committed findings baseline: grandfathered violations.
+
+The baseline lets the linter gate *new* violations to zero while known,
+explicitly-reviewed findings ride along until someone pays them down.
+Identity is the finding fingerprint ``(rule, path, message)`` — line
+numbers are deliberately excluded so edits above a grandfathered
+finding don't churn the file — with multiset semantics: a baseline
+entry absorbs exactly one live finding per recorded count.
+
+Lifecycle:
+
+* ``repro lint`` — findings covered by the baseline are reported as
+  baselined (exit 0); anything beyond it is new (exit 1).
+* baseline entries with no matching live finding are **stale**: they
+  are reported so the baseline shrinks as debt is paid, and
+  ``--write-baseline`` expires them (the file always records exactly
+  the current findings).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "LINT_BASELINE.json"
+
+Fingerprint = tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """The grandfathered-findings multiset."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(this tool writes version {BASELINE_VERSION})"
+            )
+        entries: Counter = Counter()
+        for item in data.get("findings", ()):
+            finding = Finding.from_dict(item)
+            entries[finding.fingerprint()] += int(item.get("count", 1))
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    def write(self, path: Path) -> None:
+        """Write the baseline deterministically (sorted, stable keys)."""
+        items = []
+        for (rule, rel, message), count in sorted(self.entries.items()):
+            entry = {"rule": rule, "path": rel, "message": message}
+            if count != 1:
+                entry["count"] = count
+            items.append(entry)
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "findings": items,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(self, findings: list[Finding],
+                  ) -> tuple[list[Finding], list[Finding], list[Fingerprint]]:
+        """Split live findings into ``(new, baselined)`` and report the
+        baseline entries left unmatched (``stale``)."""
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if remaining[fingerprint] > 0:
+                remaining[fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(
+            fingerprint
+            for fingerprint, count in remaining.items()
+            for _ in range(count)
+        )
+        return new, baselined, stale

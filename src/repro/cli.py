@@ -29,6 +29,13 @@ Commands
     runtime (``--workers N``) — with periodic stats/detector snapshots
     and a clean SIGINT/SIGTERM shutdown.
 
+``lint``
+    Run repro-lint, the repo's contract checkers (seeded-RNG
+    determinism, monotonic clocks, batch-first hot paths, numpy
+    gating, fork safety, protocol conformance, registry hygiene);
+    ``--list`` enumerates the rules, exit status is non-zero on any
+    non-baselined finding.
+
 ``experiment``
     Run one (or all) of the paper-artefact experiments; thin wrapper
     around :mod:`repro.experiments.runner`.
@@ -289,6 +296,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` command: the repro-lint contract checkers."""
+    from repro.analysis.runner import execute
+
+    return execute(args)
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """The ``experiment`` command."""
     from repro.experiments import runner
@@ -458,6 +472,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", type=Path, default=None, metavar="FILE",
                        help="also write the full report as JSON")
     serve.set_defaults(func=cmd_serve)
+
+    lint = sub.add_parser(
+        "lint", help="run repro-lint, the repo's contract checkers "
+        "(exit non-zero on non-baselined findings)"
+    )
+    from repro.analysis.runner import configure_parser as _configure_lint
+
+    _configure_lint(lint)
+    lint.set_defaults(func=cmd_lint)
 
     experiment = sub.add_parser("experiment", help="run paper experiments")
     experiment.add_argument("names", nargs="*", help="experiment ids (default: all)")

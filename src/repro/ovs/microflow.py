@@ -65,7 +65,10 @@ class MicroflowCache:
         self.stale_hits = 0
 
     def _set_index(self, key: FlowKey) -> int:
-        return hash(key) % self.n_sets
+        # FlowKey.__hash__ folds only int field values (a tuple of
+        # ints), which CPython hashes without per-process salting, so
+        # set placement is deterministic across runs
+        return hash(key) % self.n_sets  # repro-lint: disable=determinism-hash
 
     def contains(self, key: FlowKey) -> bool:
         """Whether *any* slot (live or stale) currently stores ``key``.

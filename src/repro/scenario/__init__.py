@@ -28,7 +28,11 @@ Quick use::
     print(result.render())
 """
 
-from repro.scenario.datapath import CachelessDatapath, Datapath
+from repro.scenario.datapath import (
+    DATAPATH_SURFACE,
+    CachelessDatapath,
+    Datapath,
+)
 from repro.scenario.registry import (
     BACKENDS,
     DEFENSES,
@@ -44,6 +48,7 @@ from repro.scenario.spec import DefenseUse, ScenarioSpec
 __all__ = [
     "BACKENDS",
     "CachelessDatapath",
+    "DATAPATH_SURFACE",
     "DEFENSES",
     "Datapath",
     "DefenseAgent",

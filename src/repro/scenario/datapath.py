@@ -40,6 +40,7 @@ from repro.flow.fields import FieldSpace
 from repro.flow.key import FlowKey
 from repro.flow.rule import FlowRule
 from repro.ovs.megaflow import MegaflowEntry
+from repro.ovs.stats import SwitchStats
 from repro.ovs.switch import BatchResult, LookupPath, PacketResult
 from repro.ovs.upcall import InstallGuard
 
@@ -102,10 +103,30 @@ class Datapath(Protocol):
     def expected_scan_depth(self) -> float: ...
 
     @property
+    def stats(self) -> SwitchStats: ...
+
+    @property
     def rule_count(self) -> int: ...
 
     @property
     def idle_timeout(self) -> float: ...
+
+
+def _protocol_surface(protocol: type) -> tuple[str, ...]:
+    """The member names a protocol class declares (annotations plus
+    methods/properties defined in its body)."""
+    members = set(getattr(protocol, "__annotations__", ()))
+    members.update(
+        name for name in vars(protocol) if not name.startswith("_")
+    )
+    return tuple(sorted(members))
+
+
+#: the full backend surface, derived from :class:`Datapath` itself so
+#: the protocol class is the single source of truth — the
+#: ``protocol-conformance`` lint rule probes every registered backend
+#: against exactly this list
+DATAPATH_SURFACE: tuple[str, ...] = _protocol_surface(Datapath)
 
 
 class CachelessDatapath:
@@ -129,6 +150,10 @@ class CachelessDatapath:
         #: classifications served (the protocol's ``tss_lookups``
         #: analogue: every packet is one scan over the static groups)
         self.tss_lookups = 0
+        #: protocol-surface scan accounting: packets, forwarded/drops
+        #: and per-classification group probes (the cache-layer
+        #: counters — EMC hits, upcalls — stay zero: there is no cache)
+        self.stats = SwitchStats()
 
     # -- datapath ----------------------------------------------------------
 
@@ -154,6 +179,12 @@ class CachelessDatapath:
         for key in keys:
             outcome = classify(key)
             self.tss_lookups += 1
+            self.stats.packets += 1
+            self.stats.record_scan(outcome.groups_probed, outcome.groups_probed)
+            if outcome.action.is_forwarding():
+                self.stats.forwarded += 1
+            else:
+                self.stats.drops += 1
             if materialize:
                 batch.add(
                     PacketResult(

@@ -89,8 +89,10 @@ class CloudNetwork:
         return len(rules)
 
     def advance_clock(self, now: float) -> None:
-        """Advance every node's dataplane clock."""
-        self.clock = now
+        """Advance every node's dataplane clock.  Clamped like the
+        switch clocks it drives: a stale ``now`` must not rewind the
+        network clock while every node ignores it."""
+        self.clock = max(self.clock, now)
         for node in self.nodes.values():
             node.switch.advance_clock(now)
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.cms.base import PRIORITY_BASELINE_FORWARD, PolicyTarget
@@ -117,7 +118,11 @@ class Node:
             raise ValueError(f"pod {name!r} already exists on {self.name}")
         ip_value = ip_to_int(ip)
         self._mac_counter += 1
-        mac = MacAddr(0x02_00_00_00_00_00 | (hash(self.name) & 0xFF) << 16 | self._mac_counter)
+        # crc32, not builtin hash(): node names must map to the same
+        # locally-administered MAC byte in every process (pcap replays
+        # and fleet runs compare frames across runs)
+        node_byte = zlib.crc32(self.name.encode("utf-8")) & 0xFF
+        mac = MacAddr(0x02_00_00_00_00_00 | node_byte << 16 | self._mac_counter)
         port_no = self._next_port
         self._next_port += 1
         pod = Pod(

@@ -13,6 +13,28 @@ from typing import TypeVar
 
 T = TypeVar("T")
 
+#: splitmix64 golden-ratio multiplier — the same mixing constant
+#: :func:`repro.ovs.pmd.shard_seed` uses for shard streams
+_GOLDEN = 0x9E3779B97F4A7C15
+#: FNV-1a 64-bit parameters for folding label bytes
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def _label_value(label: str) -> int:
+    """Deterministic 64-bit digest of a fork label (FNV-1a over UTF-8).
+
+    Never the builtin ``hash()``: that is salted per process for
+    strings (PYTHONHASHSEED), so fork-derived child seeds — and every
+    stream drawn from them — would differ between two runs of the same
+    experiment.
+    """
+    acc = _FNV_OFFSET
+    for byte in label.encode("utf-8"):
+        acc = ((acc ^ byte) * _FNV_PRIME) & _MASK64
+    return acc
+
 
 class DeterministicRng:
     """A thin, explicitly-seeded wrapper around :class:`random.Random`.
@@ -31,9 +53,15 @@ class DeterministicRng:
 
         Forking by label (rather than drawing a child seed from the
         parent stream) keeps child streams stable when unrelated draws
-        are added to the parent.
+        are added to the parent.  The derivation is pure arithmetic
+        (FNV-1a over the label, splitmix-mixed with the seed) so the
+        child seed is identical across processes and runs — the builtin
+        ``hash()`` is per-process salted for strings and would make
+        every fork-derived stream irreproducible.
         """
-        child_seed = hash((self.seed, label)) & 0x7FFF_FFFF_FFFF_FFFF
+        child_seed = (
+            _label_value(label) ^ ((self.seed * _GOLDEN) & _MASK64)
+        ) & 0x7FFF_FFFF_FFFF_FFFF
         return DeterministicRng(child_seed)
 
     def randint(self, low: int, high: int) -> int:

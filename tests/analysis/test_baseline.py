@@ -1,0 +1,79 @@
+"""Baseline lifecycle: load/write round-trip, multiset partition, stale."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import BASELINE_VERSION, Baseline
+from repro.analysis.core import Finding
+
+
+def _f(rule="r", path="p.py", line=1, message="m"):
+    return Finding(rule, path, line, 0, message)
+
+
+class TestLoadWrite:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == {}
+
+    def test_round_trip(self, tmp_path):
+        findings = [_f(message="a"), _f(message="b"), _f(message="b")]
+        path = tmp_path / "LINT_BASELINE.json"
+        Baseline.from_findings(findings).write(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == Baseline.from_findings(findings).entries
+
+    def test_written_json_is_deterministic_and_versioned(self, tmp_path):
+        findings = [_f(path="b.py"), _f(path="a.py")]
+        path = tmp_path / "LINT_BASELINE.json"
+        Baseline.from_findings(findings).write(path)
+        data = json.loads(path.read_text())
+        assert data["version"] == BASELINE_VERSION
+        assert data["tool"] == "repro-lint"
+        assert [e["path"] for e in data["findings"]] == ["a.py", "b.py"]
+
+    def test_duplicate_fingerprints_record_a_count(self, tmp_path):
+        path = tmp_path / "LINT_BASELINE.json"
+        Baseline.from_findings([_f(), _f(line=9)]).write(path)
+        data = json.loads(path.read_text())
+        assert data["findings"][0]["count"] == 2
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "LINT_BASELINE.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+
+class TestPartition:
+    def test_empty_baseline_everything_new(self):
+        findings = [_f(message="a"), _f(message="b")]
+        new, baselined, stale = Baseline().partition(findings)
+        assert new == findings
+        assert baselined == [] and stale == []
+
+    def test_baselined_findings_absorbed(self):
+        findings = [_f(message="a"), _f(message="b")]
+        baseline = Baseline.from_findings([_f(message="a", line=42)])
+        new, baselined, stale = baseline.partition(findings)
+        assert [f.message for f in new] == ["b"]
+        assert [f.message for f in baselined] == ["a"]
+        assert stale == []
+
+    def test_multiset_semantics_one_entry_absorbs_one_finding(self):
+        findings = [_f(), _f(line=5)]  # same fingerprint, twice live
+        baseline = Baseline.from_findings([_f()])  # recorded once
+        new, baselined, stale = baseline.partition(findings)
+        assert len(new) == 1 and len(baselined) == 1
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline.from_findings([_f(message="fixed-long-ago")])
+        new, baselined, stale = baseline.partition([])
+        assert new == [] and baselined == []
+        assert stale == [("r", "p.py", "fixed-long-ago")]
+
+    def test_stale_counts_expand(self):
+        baseline = Baseline.from_findings([_f(), _f(line=7)])
+        _, _, stale = baseline.partition([_f()])
+        assert len(stale) == 1

@@ -1,0 +1,295 @@
+"""Good/bad fixture coverage for every AST checker.
+
+Each fixture tree is written under ``tmp_path`` and linted with
+``run_lint(..., project_checks=False)``; scoping is by repo-relative
+path suffix, so ``<tmp>/runtime/bad.py`` exercises the fork-safety
+rule exactly like ``src/repro/runtime/parallel.py`` does.
+"""
+
+from pathlib import Path
+
+from repro.analysis.runner import run_lint
+
+
+def _lint(tmp_path: Path, files: dict[str, str], rules: list[str] | None = None):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    return run_lint([tmp_path], root=tmp_path, rules=rules,
+                    project_checks=False)
+
+
+def _rules_hit(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+class TestDeterminismRandom:
+    def test_bad_import_random(self, tmp_path):
+        result = _lint(tmp_path, {"mod.py": "import random\n"},
+                       rules=["determinism-random"])
+        assert _rules_hit(result) == {"determinism-random"}
+
+    def test_bad_from_secrets_and_urandom(self, tmp_path):
+        result = _lint(tmp_path, {
+            "a.py": "from secrets import token_bytes\n",
+            "b.py": "import os\nx = os.urandom(8)\n",
+            "c.py": "import uuid\nu = uuid.uuid4()\n",
+        }, rules=["determinism-random"])
+        assert len(result.findings) == 3
+
+    def test_good_rng_module_exempt(self, tmp_path):
+        result = _lint(tmp_path, {"util/rng.py": "import random\n"},
+                       rules=["determinism-random"])
+        assert result.findings == []
+
+    def test_good_seeded_rng_use(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "from repro.util.rng import DeterministicRng\n"
+                      "rng = DeterministicRng(1)\n",
+        }, rules=["determinism-random"])
+        assert result.findings == []
+
+
+class TestDeterminismHash:
+    def test_bad_builtin_hash(self, tmp_path):
+        result = _lint(tmp_path, {"mod.py": "x = hash('name')\n"},
+                       rules=["determinism-hash"])
+        assert _rules_hit(result) == {"determinism-hash"}
+
+    def test_good_inside_dunder_hash(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "class K:\n"
+                      "    def __hash__(self):\n"
+                      "        return hash(self.values)\n",
+        }, rules=["determinism-hash"])
+        assert result.findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "x = hash((1, 2))  # repro-lint: disable=determinism-hash\n",
+        }, rules=["determinism-hash"])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestWallClock:
+    def test_bad_perf_counter(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "import time\nt = time.perf_counter()\n",
+        }, rules=["wall-clock"])
+        assert _rules_hit(result) == {"wall-clock"}
+
+    def test_bad_bare_import_name(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "from time import perf_counter\nt = perf_counter()\n",
+        }, rules=["wall-clock"])
+        assert len(result.findings) == 1
+
+    def test_bad_datetime_now(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "from datetime import datetime\n"
+                      "stamp = datetime.now()\n",
+        }, rules=["wall-clock"])
+        assert len(result.findings) == 1
+
+    def test_good_benchmarks_out_of_scope(self, tmp_path):
+        result = _lint(tmp_path, {
+            "benchmarks/bench.py": "import time\nt = time.perf_counter()\n",
+        }, rules=["wall-clock"])
+        assert result.findings == []
+
+    def test_good_serve_run_allowlisted(self, tmp_path):
+        result = _lint(tmp_path, {
+            "runtime/service.py": "import time\n"
+                                  "def run(self):\n"
+                                  "    return time.perf_counter()\n",
+        }, rules=["wall-clock"])
+        assert result.findings == []
+
+    def test_bad_serve_other_function(self, tmp_path):
+        result = _lint(tmp_path, {
+            "runtime/service.py": "import time\n"
+                                  "def snapshot(self):\n"
+                                  "    return time.perf_counter()\n",
+        }, rules=["wall-clock"])
+        assert len(result.findings) == 1
+
+    def test_good_sleep_is_not_a_clock_read(self, tmp_path):
+        result = _lint(tmp_path, {"mod.py": "import time\ntime.sleep(0)\n"},
+                       rules=["wall-clock"])
+        assert result.findings == []
+
+
+class TestBatchFirst:
+    def test_bad_per_key_process_in_loop(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "def run(dp, keys):\n"
+                      "    for key in keys:\n"
+                      "        dp.process(key)\n",
+        }, rules=["batch-first"])
+        assert _rules_hit(result) == {"batch-first"}
+
+    def test_good_process_batch_call(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "def run(dp, keys):\n"
+                      "    return dp.process_batch(keys)\n",
+        }, rules=["batch-first"])
+        assert result.findings == []
+
+    def test_good_single_call_outside_loop(self, tmp_path):
+        result = _lint(tmp_path, {"mod.py": "r = dp.process(key)\n"},
+                       rules=["batch-first"])
+        assert result.findings == []
+
+    def test_good_delegation_wrappers_exempt(self, tmp_path):
+        # the single-key wrapper contract itself loops over workers
+        result = _lint(tmp_path, {
+            "mod.py": "class D:\n"
+                      "    def process_batch(self, keys):\n"
+                      "        for k in keys:\n"
+                      "            self.inner.process(k)\n",
+        }, rules=["batch-first"])
+        assert result.findings == []
+
+
+class TestNumpyGating:
+    def test_bad_import_outside_vec(self, tmp_path):
+        result = _lint(tmp_path, {"ovs/mod.py": "import numpy as np\n"},
+                       rules=["numpy-gating"])
+        assert _rules_hit(result) == {"numpy-gating"}
+
+    def test_bad_ungated_top_level_in_vec(self, tmp_path):
+        result = _lint(tmp_path, {"vec/engine.py": "import numpy as np\n"},
+                       rules=["numpy-gating"])
+        assert len(result.findings) == 1
+
+    def test_good_gated_import_in_vec(self, tmp_path):
+        result = _lint(tmp_path, {
+            "vec/__init__.py": "try:\n"
+                               "    import numpy as np\n"
+                               "    HAVE_NUMPY = True\n"
+                               "except ImportError:\n"
+                               "    np = None\n"
+                               "    HAVE_NUMPY = False\n",
+        }, rules=["numpy-gating"])
+        assert result.findings == []
+
+    def test_good_function_level_import_in_vec(self, tmp_path):
+        result = _lint(tmp_path, {
+            "vec/engine.py": "def build():\n    import numpy as np\n"
+                             "    return np.zeros(4)\n",
+        }, rules=["numpy-gating"])
+        assert result.findings == []
+
+
+class TestForkSafety:
+    def test_bad_packetresult_over_mailbox(self, tmp_path):
+        result = _lint(tmp_path, {
+            "runtime/mod.py": "def flush(self, results):\n"
+                              "    self.pipe.send(results)\n",
+        }, rules=["fork-safety"])
+        assert _rules_hit(result) == {"fork-safety"}
+
+    def test_bad_unguarded_switch_mutation(self, tmp_path):
+        result = _lint(tmp_path, {
+            "runtime/mod.py": "def add_rule(self, rule):\n"
+                              "    for sw in self._switches:\n"
+                              "        sw.add_rule(rule)\n",
+        }, rules=["fork-safety"])
+        assert len(result.findings) == 1
+
+    def test_good_guarded_mutation(self, tmp_path):
+        result = _lint(tmp_path, {
+            "runtime/mod.py": "def add_rule(self, rule):\n"
+                              "    if self._procs:\n"
+                              "        self._broadcast(('add_rule', rule.to_wire()))\n"
+                              "        return\n"
+                              "    for sw in self._switches:\n"
+                              "        sw.add_rule(rule)\n",
+        }, rules=["fork-safety"])
+        assert result.findings == []
+
+    def test_good_init_is_pre_fork(self, tmp_path):
+        result = _lint(tmp_path, {
+            "runtime/mod.py": "class R:\n"
+                              "    def __init__(self):\n"
+                              "        self._switches = []\n",
+        }, rules=["fork-safety"])
+        assert result.findings == []
+
+    def test_good_outside_runtime_out_of_scope(self, tmp_path):
+        result = _lint(tmp_path, {
+            "ovs/mod.py": "def flush(self, results):\n"
+                          "    self.pipe.send(results)\n",
+        }, rules=["fork-safety"])
+        assert result.findings == []
+
+    def test_good_aggregate_counters_over_mailbox(self, tmp_path):
+        result = _lint(tmp_path, {
+            "runtime/mod.py": "def flush(self, tallies):\n"
+                              "    self.pipe.send(tallies)\n",
+        }, rules=["fork-safety"])
+        assert result.findings == []
+
+
+class TestMonotonicClock:
+    def test_bad_unclamped_assignment(self, tmp_path):
+        result = _lint(tmp_path, {
+            "topo/network.py": "def advance_clock(self, now):\n"
+                               "    self.clock = now\n",
+        }, rules=["monotonic-clock"])
+        assert _rules_hit(result) == {"monotonic-clock"}
+
+    def test_good_max_clamp(self, tmp_path):
+        result = _lint(tmp_path, {
+            "topo/network.py": "def advance_clock(self, now):\n"
+                               "    self.clock = max(self.clock, now)\n",
+        }, rules=["monotonic-clock"])
+        assert result.findings == []
+
+    def test_good_guarded_assignment(self, tmp_path):
+        result = _lint(tmp_path, {
+            "ovs/switch.py": "def _advance(self, now):\n"
+                             "    if now > self.clock:\n"
+                             "        self.clock = now\n",
+        }, rules=["monotonic-clock"])
+        assert result.findings == []
+
+    def test_good_zero_initialisation(self, tmp_path):
+        result = _lint(tmp_path, {
+            "ovs/switch.py": "def __init__(self):\n    self.clock = 0.0\n",
+        }, rules=["monotonic-clock"])
+        assert result.findings == []
+
+    def test_good_unlisted_file_out_of_scope(self, tmp_path):
+        result = _lint(tmp_path, {
+            "attack/mod.py": "def set(self, now):\n    self.clock = now\n",
+        }, rules=["monotonic-clock"])
+        assert result.findings == []
+
+
+class TestCrossCutting:
+    def test_disable_file_pragma_suppresses_whole_file(self, tmp_path):
+        result = _lint(tmp_path, {
+            "mod.py": "# repro-lint: disable-file=determinism-hash\n"
+                      "a = hash('x')\n"
+                      "b = hash('y')\n",
+        }, rules=["determinism-hash"])
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        result = _lint(tmp_path, {"mod.py": "def broken(:\n"})
+        assert result.findings == []
+        assert len(result.errors) == 1
+        assert "cannot parse" in result.errors[0]
+        assert not result.ok
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        result = _lint(tmp_path, {
+            "b.py": "import random\n",
+            "a.py": "x = hash('k')\nimport secrets\n",
+        }, rules=["determinism-random", "determinism-hash"])
+        keys = [(f.path, f.line) for f in result.findings]
+        assert keys == sorted(keys)

@@ -1,0 +1,146 @@
+"""Unit tests for the repro-lint core: findings, pragmas, source files."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.core import (
+    CHECKERS,
+    Finding,
+    SourceFile,
+    dotted_name,
+    parse_pragmas,
+)
+
+
+def _load(tmp_path: Path, text: str, rel: str = "mod.py") -> SourceFile:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return SourceFile.load(path, rel)
+
+
+class TestFinding:
+    def test_format_is_path_line_col_rule_message(self):
+        f = Finding("wall-clock", "a/b.py", 12, 4, "no wall clock")
+        assert f.format() == "a/b.py:12:4: wall-clock: no wall clock"
+
+    def test_fingerprint_excludes_line_and_col(self):
+        a = Finding("r", "p.py", 10, 0, "m")
+        b = Finding("r", "p.py", 99, 7, "m")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_dict_round_trip(self):
+        f = Finding("r", "p.py", 3, 1, "m")
+        assert Finding.from_dict(f.to_dict()) == f
+
+    def test_sort_key_orders_by_location(self):
+        findings = [
+            Finding("r", "b.py", 1, 0, "m"),
+            Finding("r", "a.py", 9, 0, "m"),
+            Finding("r", "a.py", 2, 0, "m"),
+        ]
+        ordered = sorted(findings, key=Finding.sort_key)
+        assert [(f.path, f.line) for f in ordered] == [
+            ("a.py", 2), ("a.py", 9), ("b.py", 1),
+        ]
+
+
+class TestParsePragmas:
+    def test_same_line_pragma(self):
+        per_line, whole = parse_pragmas("x = hash(v)  # repro-lint: disable=determinism-hash\n")
+        assert per_line == {1: {"determinism-hash"}}
+        assert whole == set()
+
+    def test_multiple_rules_comma_separated(self):
+        per_line, _ = parse_pragmas("y = 1  # repro-lint: disable=a-rule, b-rule\n")
+        assert per_line[1] == {"a-rule", "b-rule"}
+
+    def test_disable_file_on_own_line(self):
+        text = "# repro-lint: disable-file=wall-clock\nimport os\n"
+        per_line, whole = parse_pragmas(text)
+        assert whole == {"wall-clock"}
+        assert per_line == {}
+
+    def test_trailing_disable_file_does_not_disable_file(self):
+        # a trailing disable-file reads like a line suppression; the
+        # file-wide scope demands a standalone comment line
+        text = "x = 1  # repro-lint: disable-file=wall-clock\n"
+        _, whole = parse_pragmas(text)
+        assert whole == set()
+
+    def test_string_literals_never_suppress(self):
+        text = 's = "# repro-lint: disable=determinism-hash"\n'
+        per_line, whole = parse_pragmas(text)
+        assert per_line == {} and whole == set()
+
+    def test_unparseable_text_yields_no_pragmas(self):
+        per_line, whole = parse_pragmas("def broken(:\n")
+        assert per_line == {} and whole == set()
+
+
+class TestSourceFile:
+    def test_suppressed_by_line_pragma(self, tmp_path):
+        src = _load(tmp_path, "x = hash(1)  # repro-lint: disable=determinism-hash\n")
+        hit = Finding("determinism-hash", "mod.py", 1, 4, "m")
+        miss = Finding("wall-clock", "mod.py", 1, 4, "m")
+        assert src.suppressed(hit)
+        assert not src.suppressed(miss)
+
+    def test_suppressed_by_file_pragma_any_line(self, tmp_path):
+        src = _load(tmp_path, "# repro-lint: disable-file=wall-clock\nx = 1\ny = 2\n")
+        assert src.suppressed(Finding("wall-clock", "mod.py", 3, 0, "m"))
+
+    def test_enclosing_function(self, tmp_path):
+        src = _load(tmp_path, "def outer():\n    def inner():\n        return hash(1)\n")
+        call = next(
+            n for n in ast.walk(src.tree) if isinstance(n, ast.Call)
+        )
+        assert src.enclosing_function(call).name == "inner"
+
+    def test_in_loop_true_inside_for(self, tmp_path):
+        src = _load(tmp_path, "for i in range(3):\n    f(i)\n")
+        call = next(n for n in ast.walk(src.tree) if isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Name) and n.func.id == "f")
+        assert src.in_loop(call)
+
+    def test_in_loop_stops_at_function_boundary(self, tmp_path):
+        # a def inside a loop resets loop context: its body does not
+        # execute per iteration
+        src = _load(tmp_path,
+                    "for i in range(3):\n"
+                    "    def cb():\n"
+                    "        return f(i)\n")
+        call = next(n for n in ast.walk(src.tree) if isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Name) and n.func.id == "f")
+        assert not src.in_loop(call)
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert set(CHECKERS.names()) == {
+            "determinism-random",
+            "determinism-hash",
+            "wall-clock",
+            "batch-first",
+            "numpy-gating",
+            "fork-safety",
+            "monotonic-clock",
+            "protocol-conformance",
+            "registry-hygiene",
+        }
+
+    def test_every_checker_has_contract_and_scope(self):
+        for name, checker in CHECKERS.items():
+            assert checker.rule == name
+            assert checker.contract
+            assert checker.scope
+
+
+class TestDottedName:
+    def test_renders_attribute_chains(self):
+        node = ast.parse("a.b.c()").body[0].value.func
+        assert dotted_name(node) == "a.b.c"
+
+    def test_non_name_roots_render_empty(self):
+        node = ast.parse("get()().method").body[0].value
+        assert dotted_name(node) == ""

@@ -1,0 +1,73 @@
+"""Project-level checkers: registry introspection against the live tree."""
+
+from pathlib import Path
+
+from repro.analysis.core import CHECKERS
+from repro.scenario import BACKENDS, SCENARIOS
+from repro.scenario.spec import ScenarioSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _findings(rule: str):
+    checker = CHECKERS.get(rule)
+    return list(checker.check_project(REPO_ROOT))
+
+
+class TestProtocolConformance:
+    def test_shipped_backends_conform(self):
+        assert [f.format() for f in _findings("protocol-conformance")] == []
+
+    def test_under_implemented_backend_flagged(self, monkeypatch):
+        class Stub:
+            """Implements nothing of the Datapath surface."""
+
+            def __init__(self, *args, **kwargs):
+                pass
+
+        monkeypatch.setitem(BACKENDS._items, "stub",
+                            lambda profile, space, name, seed=0, shards=1:
+                            Stub())
+        findings = _findings("protocol-conformance")
+        assert findings, "the stub backend must be flagged"
+        assert all(f.rule == "protocol-conformance" for f in findings)
+        assert any("'stub'" in f.message and "missing protocol member"
+                   in f.message for f in findings)
+        # the real backends still conform: every finding names the stub
+        assert all("'stub'" in f.message for f in findings)
+
+    def test_unbuildable_backend_reported_not_crashed(self, monkeypatch):
+        def explode(profile, space, name, seed=0, shards=1):
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(BACKENDS._items, "broken", explode)
+        findings = _findings("protocol-conformance")
+        assert any("'broken'" in f.message and "could not be built"
+                   in f.message for f in findings)
+
+
+class TestRegistryHygiene:
+    def test_shipped_presets_are_clean(self):
+        assert [f.format() for f in _findings("registry-hygiene")] == []
+
+    def test_dangling_backend_key_flagged(self, monkeypatch):
+        good = SCENARIOS.get("fig2")
+        bad = ScenarioSpec.from_dict(
+            {**good.to_dict(), "backend": "no-such-backend"}
+        )
+        monkeypatch.setitem(SCENARIOS._items, "bad-preset", bad)
+        findings = _findings("registry-hygiene")
+        assert any("'bad-preset'" in f.message
+                   and "'no-such-backend'" in f.message for f in findings)
+
+    def test_findings_anchor_at_registration_sites(self, monkeypatch):
+        good = SCENARIOS.get("fig2")
+        bad = ScenarioSpec.from_dict(
+            {**good.to_dict(), "surface": "no-such-surface"}
+        )
+        monkeypatch.setitem(SCENARIOS._items, "bad-preset", bad)
+        findings = [f for f in _findings("registry-hygiene")
+                    if "'bad-preset'" in f.message]
+        assert findings
+        assert all(f.path == "src/repro/scenario/presets.py"
+                   for f in findings)

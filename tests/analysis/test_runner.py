@@ -1,0 +1,142 @@
+"""The lint runner and CLI: exit codes, JSON schema, baseline flags."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+from repro.analysis.core import CHECKERS
+from repro.analysis.runner import REPORT_VERSION, main, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _write_tree(tmp_path: Path, files: dict[str, str]) -> None:
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+
+def _args(tmp_path: Path, *extra: str) -> list[str]:
+    return [str(tmp_path), "--root", str(tmp_path), "--no-project-checks",
+            *extra]
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "x = 1\n"})
+        assert main(_args(tmp_path)) == 0
+
+    def test_violation_exits_one(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "import random\n"})
+        assert main(_args(tmp_path)) == 1
+
+    def test_parse_error_exits_one(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "def broken(:\n"})
+        assert main(_args(tmp_path)) == 1
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "x = 1\n"})
+        assert main(_args(tmp_path, "--rules", "no-such-rule")) == 2
+
+    def test_bad_baseline_exits_two(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "x = 1\n"})
+        (tmp_path / DEFAULT_BASELINE_NAME).write_text('{"version": 99}')
+        assert main(_args(tmp_path)) == 2
+
+    def test_list_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in CHECKERS.names():
+            assert name in out
+        assert "repro-lint: disable=" in out  # the pragma syntax is shown
+
+
+class TestBaselineFlow:
+    def test_write_baseline_then_clean(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "import random\n"})
+        assert main(_args(tmp_path)) == 1
+        assert main(_args(tmp_path, "--write-baseline")) == 0
+        # grandfathered: the same violation no longer fails the run
+        assert main(_args(tmp_path)) == 0
+
+    def test_new_violation_beyond_baseline_fails(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "import random\n"})
+        main(_args(tmp_path, "--write-baseline"))
+        _write_tree(tmp_path, {"other.py": "import secrets\n"})
+        assert main(_args(tmp_path)) == 1
+
+    def test_no_baseline_flag_ignores_it(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "import random\n"})
+        main(_args(tmp_path, "--write-baseline"))
+        assert main(_args(tmp_path, "--no-baseline")) == 1
+
+    def test_baseline_survives_edits_above_the_finding(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "import random\n"})
+        main(_args(tmp_path, "--write-baseline"))
+        # the fingerprint excludes line numbers: pushing the finding
+        # down the file must not churn the baseline
+        _write_tree(tmp_path, {"mod.py": "'''doc'''\nX = 1\nimport random\n"})
+        assert main(_args(tmp_path)) == 0
+
+
+class TestJsonReport:
+    def test_schema_shape(self, tmp_path, capsys):
+        _write_tree(tmp_path, {"mod.py": "import random\n"})
+        exit_code = main(_args(tmp_path, "--format", "json"))
+        data = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert data["version"] == REPORT_VERSION
+        assert data["tool"] == "repro-lint"
+        assert set(data) == {
+            "version", "tool", "root", "checked_files", "rules", "summary",
+            "findings", "new", "stale_baseline", "errors",
+        }
+        assert data["summary"]["new"] == 1
+        assert data["summary"]["ok"] is False
+        finding = data["new"][0]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "determinism-random"
+        assert finding["path"] == "mod.py"
+
+    def test_output_file_written_alongside_human_report(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "x = 1\n"})
+        report = tmp_path / "LINT.json"
+        assert main(_args(tmp_path, "--output", str(report))) == 0
+        data = json.loads(report.read_text())
+        assert data["summary"]["ok"] is True
+
+
+class TestRuleSelection:
+    def test_rules_flag_restricts(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "import random\nx = hash('k')\n"})
+        result = run_lint([tmp_path], root=tmp_path,
+                          rules=["determinism-hash"], project_checks=False)
+        assert {f.rule for f in result.findings} == {"determinism-hash"}
+
+    def test_default_runs_all_ast_rules(self, tmp_path):
+        _write_tree(tmp_path, {"mod.py": "x = 1\n"})
+        result = run_lint([tmp_path], root=tmp_path, project_checks=False)
+        assert set(result.rules) == set(CHECKERS.names())
+
+
+class TestShippedTree:
+    def test_repo_lints_clean(self):
+        """The acceptance gate: the shipped tree has zero non-baselined
+        findings (project checkers included)."""
+        from repro.analysis.baseline import Baseline
+
+        baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
+        result = run_lint(root=REPO_ROOT, baseline=baseline)
+        assert result.errors == []
+        assert [f.format() for f in result.new] == []
+        assert result.ok
+
+    def test_introduced_violation_fails_the_tree(self, tmp_path):
+        """Dropping one bad file into a copy of a lint scope flips the
+        gate to non-zero."""
+        _write_tree(tmp_path, {
+            "topo/network.py": "def advance_clock(self, now):\n"
+                               "    self.clock = now\n",
+        })
+        assert main(_args(tmp_path)) == 1
