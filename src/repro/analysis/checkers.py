@@ -12,6 +12,7 @@ snippets the test suite writes into temporary directories (a fixture at
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.analysis.core import (
@@ -27,6 +28,7 @@ __all__ = [
     "DeterminismHashChecker",
     "DeterminismRandomChecker",
     "ForkSafetyChecker",
+    "MetricHygieneChecker",
     "MonotonicClockChecker",
     "NumpyGateChecker",
     "WallClockChecker",
@@ -149,8 +151,12 @@ class WallClockChecker(Checker):
         "datetime.datetime.now", "datetime.datetime.utcnow",
     }
     #: (path suffix, enclosing function) pairs allowed to read the wall
-    #: clock — the serve loop's packets-per-second accounting
-    allowlist = (("runtime/service.py", "run"),)
+    #: clock — the serve loop's packets-per-second accounting and the
+    #: obs exporter that assembles its wall-pps fields
+    allowlist = (
+        ("runtime/service.py", "run"),
+        ("obs/export.py", "wall_pps_snapshot"),
+    )
 
     def applies_to(self, rel: str) -> bool:
         return not _segment_match(rel, ("benchmarks",))
@@ -191,6 +197,119 @@ class WallClockChecker(Checker):
                 "run on simulated time (pass `now`), and wall-clock "
                 "measurement belongs in benchmarks/ or the serve "
                 "snapshot allowlist",
+            )
+
+
+# ---------------------------------------------------------------------------
+# metric hygiene
+# ---------------------------------------------------------------------------
+
+@register
+class MetricHygieneChecker(Checker):
+    """Telemetry's naming contract, checked at the call sites: metric
+    and span names are lowercase dotted string *literals* registered
+    through the :class:`~repro.obs.telemetry.Telemetry` registry, and
+    instrumented modules don't keep ad-hoc string-keyed dict counters
+    beside it (two counting schemes drift apart silently)."""
+
+    rule = "metric-hygiene"
+    contract = ("Telemetry counter/gauge/histogram and trace .record "
+                "names must be lowercase dotted string literals "
+                "(dimensions travel as labels); modules importing "
+                "repro.obs must not grow ad-hoc `d['key'] += n` "
+                "counters beside the registry")
+    scope = "src/repro (dict-counter sub-rule: importers of repro.obs; " \
+            "the obs package itself exempt)"
+
+    #: lowercase dotted identifiers, two+ segments — kept in sync with
+    #: repro.obs.telemetry.METRIC_NAME_RE (duplicated so the checker
+    #: parses fixture trees without importing the instrumented package)
+    _name_re = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+    #: receiver segments marking a Telemetry registry handle
+    _telemetry_receivers = {"telemetry", "tele"}
+    _register_calls = {"counter", "gauge", "histogram"}
+    #: receiver segments marking a span recorder handle
+    _trace_receivers = {"trace", "_trace"}
+
+    def applies_to(self, rel: str) -> bool:
+        # the registry/exporter implementation manipulates names and
+        # aggregation dicts generically — the contract binds its callers
+        return not _segment_match(rel, ("obs",))
+
+    @staticmethod
+    def _segments(chain: str) -> set[str]:
+        return set(chain.split("."))
+
+    def _imports_obs(self, src: SourceFile) -> bool:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                if any(a.name.split(".")[0:2] == ["repro", "obs"]
+                       for a in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "repro.obs" or module.startswith("repro.obs."):
+                    return True
+        return False
+
+    def _check_name(self, src: SourceFile, node: ast.Call,
+                    what: str) -> Iterator[Finding]:
+        if not node.args:
+            yield self.finding(
+                src, node,
+                f"{what} call without a positional name; pass the "
+                "metric name as the first argument",
+            )
+            return
+        name_arg = node.args[0]
+        if not (isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)):
+            yield self.finding(
+                src, node,
+                f"{what} name must be a string literal (exporters and "
+                "the lint baseline need the full name set statically "
+                "known); put dynamic dimensions in labels, not the name",
+            )
+            return
+        if not self._name_re.match(name_arg.value):
+            yield self.finding(
+                src, node,
+                f"{what} name {name_arg.value!r} is not a lowercase "
+                "dotted identifier (expected e.g. 'sim.attacker.cycles')",
+            )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            chain = dotted_name(node.func)
+            segments = self._segments(chain)
+            if (node.func.attr in self._register_calls
+                    and segments & self._telemetry_receivers):
+                yield from self._check_name(
+                    src, node, f"telemetry .{node.func.attr}()"
+                )
+            elif (node.func.attr == "record"
+                    and segments & self._trace_receivers):
+                yield from self._check_name(src, node, "trace .record()")
+        if not self._imports_obs(src):
+            return
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Subscript)):
+                continue
+            key = node.target.slice
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            yield self.finding(
+                src, node,
+                f"ad-hoc dict counter [{key.value!r}] += ... in an "
+                "instrumented module; register a Telemetry counter "
+                "(labels for the dimensions) so the series shows up in "
+                "every exporter",
             )
 
 

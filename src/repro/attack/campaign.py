@@ -86,6 +86,7 @@ class AttackCampaign:
         reprobe_interval: float = 0.0,
         reprobe_tries: int = 128,
         covert_replay: str = "model",
+        telemetry=None,
     ) -> None:
         if attacker_strategy not in ("naive", "spread"):
             raise ValueError(
@@ -122,6 +123,9 @@ class AttackCampaign:
         #: "model" | "datapath" — forwarded to the simulator (see
         #: :class:`~repro.perf.simulator.DataplaneSimulator`)
         self.covert_replay = covert_replay
+        #: observability umbrella forwarded to the simulator (None =
+        #: the shared null telemetry; zero overhead)
+        self.telemetry = telemetry
         self.generator = CovertStreamGenerator(
             dimensions, dst_ip=attacker_pod_ip, space=space
         )
@@ -241,6 +245,7 @@ class AttackCampaign:
             covert_refresh=covert_refresh,
             reprobe_interval=self.reprobe_interval,
             covert_replay=self.covert_replay,
+            telemetry=self.telemetry,
         )
 
     def run(self, extra_events=()) -> CampaignReport:

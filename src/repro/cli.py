@@ -29,6 +29,14 @@ Commands
     runtime (``--workers N``) — with periodic stats/detector snapshots
     and a clean SIGINT/SIGTERM shutdown.
 
+``trace``
+    Run a scenario with the telemetry layer enabled and export the
+    observability artifacts: a Chrome trace-event JSON (loadable in
+    Perfetto / ``chrome://tracing``), the span JSONL, the
+    cycle-attribution profile, and the Prometheus metrics text.
+    ``scenario``/``fleet``/``serve`` additionally take
+    ``--metrics-out FILE`` to dump the metric registry after any run.
+
 ``lint``
     Run repro-lint, the repo's contract checkers (seeded-RNG
     determinism, monotonic clocks, batch-first hot paths, numpy
@@ -57,6 +65,25 @@ from repro.ovs.tss import KEY_MODES, SCAN_ORDERS
 from repro.scenario import BACKENDS, DEFENSES, PROFILES, SCENARIOS, SURFACES, Session
 from repro.util.units import format_bps
 from repro.vec import HAVE_NUMPY, NumpyUnavailableError
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """A live registry when the run asked for ``--metrics-out``,
+    ``None`` (→ the shared null telemetry, zero overhead) otherwise."""
+    if getattr(args, "metrics_out", None) is None:
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry()
+
+
+def _write_metrics_out(args: argparse.Namespace, telemetry) -> None:
+    if telemetry is None:
+        return
+    from repro.obs.export import write_metrics
+
+    written = write_metrics(telemetry, args.metrics_out)
+    print(f"\nmetrics written to {written}")
 
 
 def _campaign_surfaces() -> list[str]:
@@ -170,10 +197,11 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             overrides[field_name] = value
     if args.defense:
         overrides["defenses"] = tuple(args.defense)
+    telemetry = _make_telemetry(args)
     try:
         if overrides:
             spec = spec.evolve(**overrides)
-        result = Session(spec).run()
+        result = Session(spec, telemetry=telemetry).run()
     except (KeyError, ValueError, NumpyUnavailableError) as exc:
         raise SystemExit(f"scenario {spec.name!r}: {exc}")
     print(result.render())
@@ -181,6 +209,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         args.csv.mkdir(parents=True, exist_ok=True)
         written = result.to_csv(args.csv)
         print(f"\nCSV written to {written}")
+    _write_metrics_out(args, telemetry)
     return 0
 
 
@@ -223,18 +252,20 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         value = getattr(args, field_name)
         if value is not None:
             scenario_overrides[field_name] = value
+    telemetry = _make_telemetry(args)
     try:
         if scenario_overrides:
             overrides["scenario"] = spec.scenario.evolve(**scenario_overrides)
         if overrides:
             spec = spec.evolve(**overrides)
-        result = FleetSession(spec).run()
+        result = FleetSession(spec, telemetry=telemetry).run()
     except (KeyError, ValueError, NumpyUnavailableError) as exc:
         raise SystemExit(f"fleet {spec.name!r}: {exc}")
     print(result.render())
     if args.csv is not None:
         written = result.to_csv(args.csv)
         print(f"\nCSV written to {written} (+ one per node)")
+    _write_metrics_out(args, telemetry)
     return 0
 
 
@@ -252,6 +283,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         value = getattr(args, field_name)
         if value is not None:
             overrides[field_name] = value
+    telemetry = _make_telemetry(args)
     try:
         if overrides:
             spec = spec.evolve(**overrides)
@@ -265,6 +297,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             report_interval=args.report_interval,
             detect_threshold=args.detect_threshold,
+            telemetry=telemetry,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"serve {spec.name!r}: {exc}")
@@ -293,6 +326,69 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         args.json.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
         print(f"\nJSON report written to {args.json}")
+    _write_metrics_out(args, telemetry)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` command: one scenario run, full observability."""
+    import json
+
+    from repro.obs import Telemetry
+    from repro.obs.export import prometheus_text, telemetry_json
+
+    try:
+        spec = SCENARIOS.get(args.name)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    overrides = {}
+    for field_name in ("duration", "attack_start", "seed", "backend",
+                       "shards"):
+        value = getattr(args, field_name)
+        if value is not None:
+            overrides[field_name] = value
+    telemetry = Telemetry()
+    try:
+        if overrides:
+            spec = spec.evolve(**overrides)
+        result = Session(spec, telemetry=telemetry).run()
+    except (KeyError, ValueError, NumpyUnavailableError) as exc:
+        raise SystemExit(f"trace {spec.name!r}: {exc}")
+
+    out: Path = args.output
+    out.mkdir(parents=True, exist_ok=True)
+    chrome = out / f"{spec.name}.trace.json"
+    chrome.write_text(
+        json.dumps(telemetry.trace.to_chrome_trace(), indent=2,
+                   sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    jsonl = out / f"{spec.name}.trace.jsonl"
+    jsonl.write_text(telemetry.trace.to_jsonl(), encoding="utf-8")
+    profile = out / f"{spec.name}.profile.json"
+    profile.write_text(
+        json.dumps(telemetry.profile.to_dict(), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    metrics = out / f"{spec.name}.metrics.prom"
+    metrics.write_text(prometheus_text(telemetry), encoding="utf-8")
+    snapshot = out / f"{spec.name}.snapshot.json"
+    snapshot.write_text(telemetry_json(telemetry), encoding="utf-8")
+
+    print(result.headline())
+    print()
+    print(telemetry.profile.render(min_percent=args.min_percent))
+    summary = telemetry.trace.summary()
+    print(
+        f"\ntrace: {summary['events']} span(s) buffered "
+        f"({summary['recorded']} recorded, {summary['dropped']} dropped)"
+    )
+    print(f"artifacts in {out}/:")
+    for path in (chrome, jsonl, profile, metrics, snapshot):
+        print(f"  {path.name}")
+    print("load the .trace.json in https://ui.perfetto.dev "
+          "(or chrome://tracing)")
     return 0
 
 
@@ -397,7 +493,33 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="NAME", help="activate a defense (repeatable)")
     scenario.add_argument("--csv", type=Path, default=None, metavar="DIR",
                           help="also dump the result as CSV into DIR")
+    scenario.add_argument("--metrics-out", type=Path, default=None,
+                          dest="metrics_out", metavar="FILE",
+                          help="run with telemetry enabled and write the "
+                          "metric registry (.prom/.txt: Prometheus text "
+                          "exposition, else the repro.obs/v1 JSON snapshot)")
     scenario.set_defaults(func=cmd_scenario)
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario with telemetry enabled and export "
+        "the trace/profile/metrics artifacts"
+    )
+    trace.add_argument("name", help="scenario name (see 'repro scenario --list')")
+    trace.add_argument("--output", type=Path, default=Path("trace-out"),
+                       metavar="DIR",
+                       help="artifact directory (default: trace-out/)")
+    trace.add_argument("--duration", type=float, default=None)
+    trace.add_argument("--attack-start", type=float, default=None,
+                       dest="attack_start")
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--backend", choices=BACKENDS.names(), default=None)
+    trace.add_argument("--shards", type=int, default=None,
+                       help="PMD shard count override")
+    trace.add_argument("--min-percent", type=float, default=1.0,
+                       dest="min_percent",
+                       help="hide profile nodes below this share of total "
+                       "charged cycles (default 1.0)")
+    trace.set_defaults(func=cmd_trace)
 
     fleet = sub.add_parser(
         "fleet", help="run a fleet campaign via the FleetSession API"
@@ -429,6 +551,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base seed (nodes re-seed via shard_seed)")
     fleet.add_argument("--csv", type=Path, default=None, metavar="DIR",
                        help="dump the aggregate + per-node series into DIR")
+    fleet.add_argument("--metrics-out", type=Path, default=None,
+                       dest="metrics_out", metavar="FILE",
+                       help="run with telemetry enabled and write the "
+                       "metric registry (.prom/.txt: Prometheus text, "
+                       "else JSON snapshot)")
     fleet.set_defaults(func=cmd_fleet)
 
     serve = sub.add_parser(
@@ -471,6 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=None)
     serve.add_argument("--json", type=Path, default=None, metavar="FILE",
                        help="also write the full report as JSON")
+    serve.add_argument("--metrics-out", type=Path, default=None,
+                       dest="metrics_out", metavar="FILE",
+                       help="run with telemetry enabled and write the "
+                       "metric registry (.prom/.txt: Prometheus text, "
+                       "else JSON snapshot)")
     serve.set_defaults(func=cmd_serve)
 
     lint = sub.add_parser(

@@ -50,6 +50,7 @@ from repro.fleet.loop import (
 from repro.fleet.mobility import MOBILITY, ScheduledAttacker
 from repro.fleet.spec import FleetSpec
 from repro.flow.key import FlowKey
+from repro.obs.export import mask_census
 from repro.ovs.pmd import shard_seed
 from repro.perf.series import TimeSeries
 from repro.scenario.session import Session
@@ -242,7 +243,8 @@ class FleetSession:
     """Builds and runs one fleet campaign; the fleet-scale analogue of
     :class:`~repro.scenario.session.Session`."""
 
-    def __init__(self, spec: "FleetSpec | str | Mapping") -> None:
+    def __init__(self, spec: "FleetSpec | str | Mapping",
+                 telemetry=None) -> None:
         if isinstance(spec, str):
             from repro.fleet.presets import FLEETS
 
@@ -250,6 +252,22 @@ class FleetSession:
         elif isinstance(spec, Mapping):
             spec = FleetSpec.from_dict(spec)
         self.spec = spec.validate()
+        #: one shared observability umbrella for the whole fleet: every
+        #: node Session gets it, so per-node series land in one registry
+        #: labeled by node (None = the shared null telemetry)
+        self.telemetry = telemetry
+        enabled = telemetry is not None and telemetry.enabled
+        self._trace = telemetry.trace if enabled else None
+        self._fleet_gauges = (
+            {
+                "poisoned": telemetry.gauge("fleet.poisoned_nodes"),
+                "quarantined": telemetry.gauge("fleet.quarantined_nodes"),
+                "total_masks": telemetry.gauge("fleet.total_masks"),
+                "throughput": telemetry.gauge("fleet.throughput_bps"),
+            }
+            if enabled
+            else None
+        )
         self.base = spec.scenario
         self.policy = MOBILITY.get(spec.mobility)
         self.fabric = Fabric(f"{spec.name}-fabric")
@@ -300,7 +318,7 @@ class FleetSession:
         for index in range(spec.nodes):
             name = f"n{index}"
             node_spec = base.evolve(seed=shard_seed(base.seed, index))
-            session = Session(node_spec)
+            session = Session(node_spec, telemetry=self.telemetry)
             datapath = session.build_datapath(name=f"{spec.name}-{name}")
             campaign = session.build_campaign(datapath)
             extra_events = [
@@ -459,15 +477,25 @@ class FleetSession:
                             node.name, dest.name, "a migrated victim flow"
                         )
             self.fabric.detach(node.name)
-            self.migrations.append(
-                MigrationEvent(
-                    t=t,
-                    node=node.name,
-                    mask_count=node.datapath.mask_count,
-                    migrated_to=tuple(migrated_to),
-                    flows_moved=len(keys),
-                )
+            event = MigrationEvent(
+                t=t,
+                node=node.name,
+                mask_count=node.datapath.mask_count,
+                migrated_to=tuple(migrated_to),
+                flows_moved=len(keys),
             )
+            self.migrations.append(event)
+            if self._trace is not None:
+                self._trace.record(
+                    "fleet.quarantine", t, node=node.name,
+                    mask_count=event.mask_count,
+                    flows_moved=event.flows_moved,
+                )
+                if migrated_to:
+                    self._trace.record(
+                        "fleet.migration", t, node=node.name,
+                        to=",".join(migrated_to), flows=len(keys),
+                    )
 
     def _observe_tick(self, loop: EventLoop, tick: int, t0: float, t1: float,
                       aggregate: TimeSeries, n_ticks: int,
@@ -508,11 +536,9 @@ class FleetSession:
             series = node.simulator.series
             throughput += series.last("victim_throughput_bps")
             capacity += series.last("victim_capacity_bps")
-            datapath = node.datapath
-            masks.append(datapath.mask_count)
-            total_masks += getattr(
-                datapath, "total_mask_count", datapath.mask_count
-            )
+            worst, total = mask_census(node.datapath)
+            masks.append(worst)
+            total_masks += total
         counters = self.fabric.counters()
         aggregate.append(
             t=t1,
@@ -530,6 +556,15 @@ class FleetSession:
             fabric_delivered=counters["delivered"],
             fabric_undeliverable=counters["undeliverable"],
         )
+        if self._fleet_gauges is not None:
+            gauges = self._fleet_gauges
+            self.telemetry.advance(t1)
+            gauges["poisoned"].set(float(aggregate.last("poisoned_nodes")))
+            gauges["quarantined"].set(
+                float(aggregate.last("quarantined_nodes"))
+            )
+            gauges["total_masks"].set(float(total_masks))
+            gauges["throughput"].set(throughput)
 
     # -- running ------------------------------------------------------------
 

@@ -485,6 +485,11 @@ class PmdRebalancer:
     :class:`~repro.perf.costmodel.CostModel`'s calibration.
     """
 
+    #: optional span recorder (``Telemetry.attach`` wires these;
+    #: class-level defaults keep the un-instrumented path branch-cheap)
+    trace = None
+    trace_node = ""
+
     def __init__(
         self,
         datapath: ShardedDatapath,
@@ -666,6 +671,13 @@ class PmdRebalancer:
             dp.reta[bucket] = dest
         moved = len(moves)
         self.buckets_moved += moved
+        if self.trace is not None:
+            self.trace.record(
+                "ovs.pmd.rebalance", dp.clock,
+                node=self.trace_node or dp.name,
+                buckets_moved=moved, passes=self.rebalances,
+                hottest_before=max(before), hottest_after=max(after),
+            )
         # fresh window: the next pass measures post-remap load only
         dp.bucket_packets = [0] * dp.reta_size
         dp.bucket_tuples = [0] * dp.reta_size

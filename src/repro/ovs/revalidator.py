@@ -19,6 +19,12 @@ DEFAULT_SWEEP_INTERVAL = 0.5
 class Revalidator:
     """Sweeps idle megaflows and purges stale microflow references."""
 
+    #: optional span recorder (``Telemetry.attach`` wires these three;
+    #: class-level defaults keep the un-instrumented path branch-cheap)
+    trace = None
+    trace_node = ""
+    trace_shard = -1
+
     def __init__(
         self,
         cache: MegaflowCache,
@@ -57,6 +63,13 @@ class Revalidator:
             return 0
         evicted = self.sweep(now)  # sets last_sweep = now ...
         self.last_sweep = anchor   # ... which the grid anchor overrides
+        if self.trace is not None:
+            self.trace.record(
+                "ovs.revalidator.sweep", now,
+                node=self.trace_node, shard=self.trace_shard,
+                evicted=evicted, sweeps=self.sweeps,
+                megaflows=self.cache.entry_count,
+            )
         return evicted
 
     def sweep(self, now: float) -> int:

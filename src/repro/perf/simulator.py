@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.flow.key import FlowKey
+from repro.obs import NULL_TELEMETRY
 from repro.ovs.megaflow import MegaflowEntry
 from repro.ovs.pmd import shard_views
 from repro.ovs.switch import BatchResult, LookupPath, OvsSwitch
@@ -107,6 +108,7 @@ class DataplaneSimulator:
         covert_refresh: Callable[[], Sequence[FlowKey]] | None = None,
         reprobe_interval: float = 0.0,
         covert_replay: str = "model",
+        telemetry=None,
     ) -> None:
         if attacker is not None and not covert_keys:
             raise ValueError("an attacker workload needs covert_keys")
@@ -192,6 +194,41 @@ class DataplaneSimulator:
         # (None = uniform; only skewed workloads need the Zipf profile)
         self._reta_dp = switch if getattr(switch, "reta", None) is not None else None
         self._seen_rebalances = 0
+        # observability: attach the span recorder to the datapath's
+        # event sources and pre-register this simulator's instruments.
+        # ``_tele`` stays None when telemetry is disabled, so the hot
+        # tick loop pays one ``is not None`` check and nothing else —
+        # the zero-overhead-when-disabled contract bench_obs gates.
+        # explicit None check: an empty registry is len() == 0 / falsy
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        self.telemetry.attach(switch)
+        self._tele = None
+        self._tele_node = getattr(switch, "name", "") or ""
+        self._last_upcalls = 0
+        if self.telemetry.enabled:
+            node = self._tele_node
+            tele = self.telemetry
+            self._tele = {
+                "attacker_packets": tele.counter(
+                    "sim.attacker.packets", node=node
+                ),
+                "attacker_cycles": tele.counter(
+                    "sim.attacker.cycles", node=node
+                ),
+                "charged": tele.counter("sim.cycles.charged", node=node),
+                "masks": tele.gauge("sim.datapath.masks", node=node),
+                "megaflows": tele.gauge("sim.datapath.megaflows", node=node),
+                "emc": tele.gauge("sim.emc.hit_rate", node=node),
+                "victim_cycles": tele.histogram(
+                    "sim.victim.avg_cycles", node=node
+                ),
+                "throughput": tele.gauge(
+                    "sim.victim.throughput_bps", node=node
+                ),
+            }
+            self._last_upcalls = switch.stats.upcalls if getattr(
+                switch, "stats", None
+            ) is not None else 0
         self._bucket_weights: list[float] | None = None
         if self._reta_dp is not None and victim.skew > 0:
             # workload_seed is the raw scenario seed (never a forked
@@ -663,6 +700,9 @@ class DataplaneSimulator:
         attacker_cycles = 0.0
         avg_costs: list[float] = []
         tick_loads: list[float] = []
+        tele_on = self._tele is not None
+        reval_list: list[float] = []
+        served_list: list[float] = []
         for index, view in enumerate(shards):
             avg_cost = self._victim_avg_cost(view, emc_hit_rate)
             avg_costs.append(avg_cost)
@@ -684,10 +724,16 @@ class DataplaneSimulator:
             )
             shard_capacity = self.cost_model.capacity_pps(avg_cost, available)
             capacity_pps += shard_capacity
-            achieved_pps += min(offered_share_pps, shard_capacity)
+            served_pps = min(offered_share_pps, shard_capacity)
+            achieved_pps += served_pps
             tick_loads.append(
                 offered_share_pps * self.dt * avg_cost + cycles_by_shard[index]
             )
+            if tele_on:
+                # per-tick cycle attribution (pure observation: nothing
+                # below feeds back into the series arithmetic)
+                reval_list.append(reval_cycles * self.dt)
+                served_list.append(served_pps * self.dt * avg_cost)
         # feed the victim's (analytically modelled) demand into the
         # rebalancer's per-bucket window, so skewed benign load —
         # not only attack traffic — drives remaps
@@ -726,8 +772,65 @@ class DataplaneSimulator:
                 reta_dp.rebalancer.rebalances if reta_dp is not None else 0
             ),
         )
+        if tele_on:
+            self._record_tick(
+                t_next, sent, cycles_by_shard, reval_list, served_list,
+                emc_hit_rate, avg_cost_total / n_shards,
+                achieved_pps * frame_bits,
+            )
         self.t = t_next
         return t_next
+
+    def _record_tick(self, t_next: float, sent: int,
+                     cycles_by_shard: list[float],
+                     reval_list: list[float], served_list: list[float],
+                     emc_hit_rate: float, victim_avg_cycles: float,
+                     throughput_bps: float) -> None:
+        """Publish one tick's telemetry: metric samples, cycle
+        attribution by (layer, phase, shard), and the upcall-burst
+        span.  Only called with telemetry enabled; pure observation —
+        it reads tick outputs, never feeds back into them."""
+        tele = self.telemetry
+        inst = self._tele
+        node = self._tele_node
+        tele.advance(t_next)
+        inst["attacker_packets"].inc(sent)
+        inst["attacker_cycles"].inc(sum(cycles_by_shard))
+        inst["masks"].set(self.switch.mask_count)
+        inst["megaflows"].set(self.switch.megaflow_count)
+        inst["emc"].set(emc_hit_rate)
+        inst["victim_cycles"].observe(victim_avg_cycles)
+        inst["throughput"].set(throughput_bps)
+        profile = tele.profile
+        covert_phase = "covert_" + self.covert_replay
+        multi = len(self._shards) > 1
+        charged = 0.0
+        for shard in range(len(self._shards)):
+            sid = shard if multi else -1
+            attacker = cycles_by_shard[shard]
+            reval = reval_list[shard]
+            served = served_list[shard]
+            if attacker:
+                profile.charge("attacker", covert_phase, attacker,
+                               node=node, shard=sid)
+            if reval:
+                profile.charge("ovs", "revalidate", reval,
+                               node=node, shard=sid)
+            if served:
+                profile.charge("victim", "serve", served,
+                               node=node, shard=sid)
+            charged += attacker + reval + served
+        inst["charged"].inc(charged)
+        stats = getattr(self.switch, "stats", None)
+        if stats is not None:
+            upcalls = stats.upcalls
+            delta = upcalls - self._last_upcalls
+            if delta > 0:
+                tele.trace.record(
+                    "ovs.upcall.burst", t_next, node=node, upcalls=delta,
+                    masks=self.switch.mask_count,
+                )
+            self._last_upcalls = upcalls
 
     def result(self) -> SimulationResult:
         """Wrap the (possibly step-driven) series in the result type."""

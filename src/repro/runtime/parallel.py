@@ -60,6 +60,7 @@ from typing import Callable, Iterable, Sequence
 from repro.flow.fields import OVS_FIELDS, FieldSpace
 from repro.flow.key import FlowKey
 from repro.flow.rule import FlowRule
+from repro.obs.export import observe_switch as _observe_switch
 from repro.ovs.megaflow import MegaflowEntry
 from repro.ovs.pmd import (
     DEFAULT_RETA_SIZE,
@@ -99,17 +100,6 @@ class WorkerCrashError(RuntimeError):
     """
 
 
-def _observe_switch(switch: OvsSwitch) -> dict:
-    """One shard's observable snapshot — the ``stats``/``observe``
-    reply payload (plain ints, one picklable dataclass)."""
-    return {
-        "stats": switch.stats,
-        "mask_count": switch.mask_count,
-        "megaflow_count": switch.megaflow_count,
-        "tss_lookups": switch.tss_lookups,
-        "expected_scan_depth": switch.expected_scan_depth(),
-        "rule_count": switch.rule_count,
-    }
 
 
 def _worker_main(conn: Connection, switch: OvsSwitch) -> None:
@@ -243,6 +233,10 @@ class ParallelDatapath:
         self._procs: list[multiprocessing.Process] = []
         self._pipes: list[Connection] = []
         self._closed = False
+        # optional span recorder for mailbox round-trips (parent-side
+        # only: the trace never crosses the fork)
+        self._trace = None
+        self._trace_node = ""
 
     @classmethod
     def from_profile(
@@ -387,9 +381,23 @@ class ParallelDatapath:
         management rounds overlap across workers."""
         for shard in range(self.shard_count):
             self._send(shard, message)
-        return [
+        replies = [
             self._recv(shard, message[0]) for shard in range(self.shard_count)
         ]
+        if self._trace is not None:
+            self._trace.record(
+                "runtime.mailbox.broadcast", self.clock,
+                node=self._trace_node, op=message[0],
+                shards=self.shard_count,
+            )
+        return replies
+
+    def attach_trace(self, trace, node: str = "") -> None:
+        """Record one span per mailbox round-trip (batch dispatch and
+        management broadcast) into ``trace`` — the parallel-runtime
+        event source :meth:`Telemetry.attach` wires up."""
+        self._trace = trace
+        self._trace_node = node or self.name
 
     # -- dispatch -----------------------------------------------------------
 
@@ -468,6 +476,14 @@ class ParallelDatapath:
             counters = self._recv(shard, "batch")
             for field, value in zip(BATCH_WIRE_FIELDS, counters):
                 setattr(batch, field, getattr(batch, field) + value)
+        if self._trace is not None:
+            self._trace.record(
+                "runtime.mailbox.batch",
+                self.clock if now is None else now,
+                node=self._trace_node,
+                shards=len(by_shard), packets=batch.packets,
+                upcalls=batch.upcalls,
+            )
         return batch
 
     def advance_clock(self, now: float) -> None:

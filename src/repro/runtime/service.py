@@ -37,10 +37,15 @@ from typing import Iterator
 
 from repro.flow.fields import OVS_FIELDS, FieldSpace
 from repro.flow.key import FlowKey
-from repro.ovs.stats import SwitchStats
+from repro.obs import NULL_TELEMETRY
+from repro.obs.export import (
+    datapath_state,
+    observe_shards,
+    wall_pps_snapshot,
+)
 from repro.perf.burst import KeyBurst
 from repro.perf.workload import AttackerWorkload
-from repro.runtime.parallel import ParallelDatapath, _observe_switch
+from repro.runtime.parallel import BATCH_WIRE_FIELDS, ParallelDatapath
 
 #: default seconds of simulated time per synthetic burst (matches the
 #: simulator's coalescing granularity: one burst per tick)
@@ -166,15 +171,9 @@ class PcapSource:
             yield last_ts, batch
 
 
-def observe_datapath(datapath) -> list[dict]:
-    """Per-shard observable snapshots for either runtime: the parallel
-    datapath's one-round-per-shard :meth:`observe`, or the same dict
-    built directly from a serial datapath's shard switches."""
-    observe = getattr(datapath, "observe", None)
-    if observe is not None:
-        return observe()
-    shards = getattr(datapath, "shards", None) or [datapath]
-    return [_observe_switch(shard) for shard in shards]
+# per-shard observation moved to the shared encoder in repro.obs.export;
+# kept as an alias for callers that imported it from here
+observe_datapath = observe_shards
 
 
 @dataclasses.dataclass
@@ -278,6 +277,7 @@ class ServeService:
         detect_threshold: int = DEFAULT_DETECT_THRESHOLD,
         workers: int = 0,
         close_datapath: bool = True,
+        telemetry=None,
     ) -> None:
         if report_interval <= 0:
             raise ValueError(
@@ -294,6 +294,25 @@ class ServeService:
         self._stop_requested = False
         self._stop_reason = "signal"
         self._installed_handlers: dict[int, object] = {}
+        # explicit None check: an empty registry is len() == 0 / falsy
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        self.telemetry.attach(datapath)
+        # the per-burst wire counters: the eight aggregate BatchResult
+        # deltas the parallel workers ship over the mailbox, accumulated
+        # as telemetry series (None when telemetry is disabled — the
+        # hot loop then skips instrumentation entirely)
+        self._wire_counters = None
+        if self.telemetry.enabled:
+            self._wire_counters = (
+                self.telemetry.counter("serve.batch.packets"),
+                self.telemetry.counter("serve.batch.tuples_scanned"),
+                self.telemetry.counter("serve.batch.hash_probes"),
+                self.telemetry.counter("serve.batch.forwarded"),
+                self.telemetry.counter("serve.batch.drops"),
+                self.telemetry.counter("serve.batch.upcalls"),
+                self.telemetry.counter("serve.batch.emc_hits"),
+                self.telemetry.counter("serve.batch.megaflow_hits"),
+            )
 
     # -- shutdown ------------------------------------------------------------
 
@@ -321,32 +340,46 @@ class ServeService:
 
     # -- snapshots -----------------------------------------------------------
 
-    def snapshot(self, now: float, wall_elapsed: float) -> dict:
+    def snapshot(self, now: float, started: float) -> dict:
         """One live snapshot: deterministic ``state`` + ``detector``
-        (compared by the equivalence gate) and ``wall`` timing (not)."""
-        observed = observe_datapath(self.datapath)
-        stats = SwitchStats.merge(*(o["stats"] for o in observed))
-        masks = [o["mask_count"] for o in observed]
+        (compared by the equivalence gate) and ``wall`` timing (not).
+        ``started`` is the run's ``time.perf_counter()`` origin."""
+        observed = observe_shards(self.datapath)
         state = {
             "time": now,
             "packets": self.packets,
-            "stats": dataclasses.asdict(stats),
-            "shard_mask_counts": masks,
-            "mask_count": max(masks),
-            "total_mask_count": sum(masks),
-            "megaflows": sum(o["megaflow_count"] for o in observed),
-            "tss_lookups": sum(o["tss_lookups"] for o in observed),
+            **datapath_state(self.datapath, observed),
         }
         detector = {
             "threshold": self.detect_threshold,
-            "max_shard_masks": max(masks),
-            "alert": max(masks) >= self.detect_threshold,
+            "max_shard_masks": state["mask_count"],
+            "alert": state["mask_count"] >= self.detect_threshold,
         }
-        wall = {
-            "elapsed_s": wall_elapsed,
-            "pps": self.packets / wall_elapsed if wall_elapsed > 0 else 0.0,
+        snap = {
+            "state": state,
+            "detector": detector,
+            "wall": wall_pps_snapshot(self.packets, started),
         }
-        return {"state": state, "detector": detector, "wall": wall}
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.advance(now)
+            telemetry.gauge("serve.datapath.mask_count").set(
+                state["mask_count"]
+            )
+            telemetry.gauge("serve.datapath.total_masks").set(
+                state["total_mask_count"]
+            )
+            telemetry.gauge("serve.datapath.megaflows").set(
+                state["megaflows"]
+            )
+            telemetry.trace.record(
+                "serve.snapshot", now, node=getattr(
+                    self.datapath, "name", ""
+                ),
+                packets=self.packets, mask_count=state["mask_count"],
+                alert=detector["alert"],
+            )
+        return snap
 
     # -- the loop ------------------------------------------------------------
 
@@ -360,6 +393,7 @@ class ServeService:
         next_report: float | None = None
         now = 0.0
         self._install_signal_handlers()
+        wire_counters = self._wire_counters
         try:
             for now, keys in self.source.batches():
                 batch = self.datapath.process_batch(
@@ -367,10 +401,14 @@ class ServeService:
                 )
                 self.packets += batch.packets
                 self.batches += 1
+                if wire_counters is not None:
+                    for counter, field in zip(wire_counters,
+                                              BATCH_WIRE_FIELDS):
+                        counter.inc(getattr(batch, field))
                 if next_report is None:
                     next_report = now + self.report_interval
                 if now + 1e-12 >= next_report:
-                    snap = self.snapshot(now, time.perf_counter() - t0)
+                    snap = self.snapshot(now, t0)
                     snapshots.append(snap)
                     if on_snapshot is not None:
                         on_snapshot(snap)
@@ -379,7 +417,7 @@ class ServeService:
                 if self._stop_requested:
                     stopped_by = self._stop_reason
                     break
-            final = self.snapshot(now, time.perf_counter() - t0)
+            final = self.snapshot(now, t0)
             report = ServeReport(
                 source=self.source.describe(),
                 workers=self.workers,
@@ -411,6 +449,7 @@ def build_service(
     report_interval: float = 1.0,
     detect_threshold: int = DEFAULT_DETECT_THRESHOLD,
     close_datapath: bool = True,
+    telemetry=None,
 ) -> ServeService:
     """Assemble a serve service from a scenario spec.
 
@@ -498,4 +537,5 @@ def build_service(
         detect_threshold=detect_threshold,
         workers=workers,
         close_datapath=close_datapath,
+        telemetry=telemetry,
     )

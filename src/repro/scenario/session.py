@@ -26,6 +26,7 @@ from repro.attack.analysis import reachable_mask_count
 from repro.attack.campaign import AttackCampaign, CampaignReport
 from repro.cms.base import PolicyTarget
 from repro.net.addresses import ip_to_int
+from repro.obs.export import mask_census, scan_stats
 from repro.ovs.pmd import shard_views
 from repro.perf.costmodel import CostModel
 from repro.perf.workload import AttackerWorkload, VictimWorkload
@@ -115,19 +116,7 @@ class ScenarioResult:
     def scan_stats(self) -> dict[str, float]:
         """Datapath-level scan accounting, where the backend exposes it
         (a subset of :meth:`~repro.ovs.stats.SwitchStats.snapshot`)."""
-        stats = getattr(self.datapath, "stats", None)
-        if stats is None:
-            return {}
-        snapshot = stats.snapshot()
-        return {
-            name: snapshot[name]
-            for name in (
-                "packets",
-                "tuples_scanned",
-                "hash_probes",
-                "avg_tuples_per_megaflow_lookup",
-            )
-        }
+        return scan_stats(self.datapath)
 
     # -- hooks ---------------------------------------------------------------
 
@@ -210,6 +199,7 @@ class Session:
         self,
         spec: ScenarioSpec | str | dict,
         cost_model: CostModel | None = None,
+        telemetry=None,
     ) -> None:
         if isinstance(spec, str):
             from repro.scenario.presets import SCENARIOS
@@ -218,6 +208,9 @@ class Session:
         elif isinstance(spec, dict):
             spec = ScenarioSpec.from_dict(spec)
         self.spec = spec.validate()
+        #: observability umbrella threaded down to the campaign and
+        #: simulator (None = the shared null telemetry; zero overhead)
+        self.telemetry = telemetry
         self.surface: Surface = SURFACES.get(spec.surface)
         self.profile = PROFILES.get(spec.profile)
         self.cost_model = cost_model or CostModel()
@@ -305,6 +298,7 @@ class Session:
             attacker_strategy=spec.attacker_strategy,
             reprobe_interval=spec.reprobe_interval,
             covert_replay=spec.covert_replay,
+            telemetry=self.telemetry,
         )
 
     # -- running -------------------------------------------------------------
@@ -353,7 +347,7 @@ class Session:
                 datapath.handle_miss(key, now=0.0)
         # a sharded datapath scatters the masks across its shards; the
         # figure comparable to the closed-form prediction is their sum
-        measured = getattr(datapath, "total_mask_count", datapath.mask_count)
+        measured = mask_census(datapath)[1]
         return MaskProbe(
             predicted=reachable_mask_count(self.dimensions),
             measured=measured,

@@ -115,6 +115,94 @@ class TestWallClock:
         }, rules=["wall-clock"])
         assert len(result.findings) == 1
 
+    def test_good_obs_wall_pps_allowlisted(self, tmp_path):
+        result = _lint(tmp_path, {
+            "obs/export.py": "import time\n"
+                             "def wall_pps_snapshot(packets, started):\n"
+                             "    return time.perf_counter() - started\n",
+        }, rules=["wall-clock"])
+        assert result.findings == []
+
+    def test_bad_obs_other_function(self, tmp_path):
+        result = _lint(tmp_path, {
+            "obs/export.py": "import time\n"
+                             "def prometheus_text(t):\n"
+                             "    return time.perf_counter()\n",
+        }, rules=["wall-clock"])
+        assert len(result.findings) == 1
+
+
+class TestMetricHygiene:
+    def test_bad_non_literal_metric_name(self, tmp_path):
+        result = _lint(tmp_path, {
+            "perf/mod.py": "def setup(telemetry, name):\n"
+                           "    return telemetry.counter(name)\n",
+        }, rules=["metric-hygiene"])
+        assert _rules_hit(result) == {"metric-hygiene"}
+
+    def test_bad_malformed_metric_name(self, tmp_path):
+        result = _lint(tmp_path, {
+            "perf/mod.py": "def setup(tele):\n"
+                           "    return tele.gauge('Masks-Per-Node')\n",
+        }, rules=["metric-hygiene"])
+        assert len(result.findings) == 1
+
+    def test_bad_single_segment_name(self, tmp_path):
+        result = _lint(tmp_path, {
+            "perf/mod.py": "def setup(telemetry):\n"
+                           "    return telemetry.histogram('cycles')\n",
+        }, rules=["metric-hygiene"])
+        assert len(result.findings) == 1
+
+    def test_bad_fstring_span_name(self, tmp_path):
+        result = _lint(tmp_path, {
+            "ovs/mod.py": "def sweep(self, now, shard):\n"
+                          "    self.trace.record(f'sweep.{shard}', now)\n",
+        }, rules=["metric-hygiene"])
+        assert len(result.findings) == 1
+
+    def test_good_literal_names_and_labels(self, tmp_path):
+        result = _lint(tmp_path, {
+            "perf/mod.py": "def setup(self, telemetry, node):\n"
+                           "    c = telemetry.counter("
+                           "'sim.attacker.packets', node=node)\n"
+                           "    self.trace.record("
+                           "'ovs.revalidator.sweep', 1.0, shard=2)\n",
+        }, rules=["metric-hygiene"])
+        assert result.findings == []
+
+    def test_bad_adhoc_dict_counter_in_instrumented_module(self, tmp_path):
+        result = _lint(tmp_path, {
+            "runtime/mod.py": "from repro.obs import Telemetry\n"
+                              "counts = {}\n"
+                              "def tally():\n"
+                              "    counts['upcalls'] += 1\n",
+        }, rules=["metric-hygiene"])
+        assert len(result.findings) == 1
+
+    def test_good_dict_counter_without_obs_import(self, tmp_path):
+        result = _lint(tmp_path, {
+            "perf/mod.py": "counts = {}\n"
+                           "def tally():\n"
+                           "    counts['cursor'] += 1\n",
+        }, rules=["metric-hygiene"])
+        assert result.findings == []
+
+    def test_good_obs_package_exempt(self, tmp_path):
+        result = _lint(tmp_path, {
+            "obs/profile.py": "from repro.obs.trace import NULL_TRACE\n"
+                              "def tree(root, cycles):\n"
+                              "    root['cycles'] += cycles\n",
+        }, rules=["metric-hygiene"])
+        assert result.findings == []
+
+    def test_good_unrelated_record_call(self, tmp_path):
+        result = _lint(tmp_path, {
+            "perf/mod.py": "def note(recorder, name):\n"
+                           "    recorder.record(name, 1.0)\n",
+        }, rules=["metric-hygiene"])
+        assert result.findings == []
+
     def test_good_sleep_is_not_a_clock_read(self, tmp_path):
         result = _lint(tmp_path, {"mod.py": "import time\ntime.sleep(0)\n"},
                        rules=["wall-clock"])

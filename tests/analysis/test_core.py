@@ -125,6 +125,7 @@ class TestRegistry:
             "numpy-gating",
             "fork-safety",
             "monotonic-clock",
+            "metric-hygiene",
             "protocol-conformance",
             "registry-hygiene",
         }

@@ -1,0 +1,111 @@
+"""The exporters and the shared datapath-snapshot encoder."""
+
+import json
+
+from repro.obs import Telemetry
+from repro.obs.export import (
+    datapath_state,
+    mask_census,
+    observe_shards,
+    observe_switch,
+    prometheus_text,
+    scan_stats,
+    telemetry_json,
+    write_metrics,
+)
+from repro.scenario.presets import SCENARIOS
+from repro.scenario.session import Session
+
+
+def _datapath(shards=1):
+    spec = SCENARIOS.get("k8s-deepscan").evolve(shards=shards)
+    return Session(spec).build_datapath()
+
+
+class TestSnapshotEncoder:
+    def test_observe_switch_fields(self):
+        datapath = _datapath()
+        observed = observe_switch(datapath)
+        assert set(observed) == {"stats", "mask_count", "megaflow_count",
+                                 "tss_lookups", "expected_scan_depth",
+                                 "rule_count"}
+
+    def test_observe_shards_counts_views(self):
+        assert len(observe_shards(_datapath(shards=1))) == 1
+        assert len(observe_shards(_datapath(shards=2))) == 2
+
+    def test_datapath_state_aggregates(self):
+        datapath = _datapath(shards=2)
+        state = datapath_state(datapath)
+        assert state["mask_count"] == max(state["shard_mask_counts"])
+        assert state["total_mask_count"] == sum(state["shard_mask_counts"])
+        assert isinstance(state["stats"], dict)
+
+    def test_scan_stats_subset(self):
+        stats = scan_stats(_datapath())
+        assert set(stats) == {"packets", "tuples_scanned", "hash_probes",
+                              "avg_tuples_per_megaflow_lookup"}
+
+    def test_scan_stats_empty_without_stats_surface(self):
+        class Bare:
+            pass
+
+        assert scan_stats(Bare()) == {}
+
+    def test_mask_census_unsharded_equal_pair(self):
+        worst, total = mask_census(_datapath(shards=1))
+        assert worst == total
+
+    def test_scan_stats_matches_session_result(self):
+        spec = SCENARIOS.get("k8s-deepscan").evolve(
+            duration=15.0, attack_start=5.0
+        )
+        result = Session(spec).run()
+        assert result.scan_stats() == scan_stats(result.datapath)
+
+
+class TestPrometheusText:
+    def test_families_and_series(self):
+        tele = Telemetry()
+        tele.counter("sim.attacker.packets", node="n0").inc(42)
+        tele.gauge("sim.emc.hit_rate").set(0.25)
+        text = prometheus_text(tele)
+        assert "# TYPE repro_sim_attacker_packets counter" in text
+        assert 'repro_sim_attacker_packets{node="n0"} 42' in text
+        assert "repro_sim_emc_hit_rate 0.25" in text
+
+    def test_histogram_exposition(self):
+        tele = Telemetry()
+        hist = tele.histogram("sim.victim.avg_cycles", buckets=(10.0, 100.0))
+        hist.observe(5.0)
+        hist.observe(50.0)
+        text = prometheus_text(tele)
+        assert 'repro_sim_victim_avg_cycles_bucket{le="10"} 1' in text
+        assert 'repro_sim_victim_avg_cycles_bucket{le="100"} 2' in text
+        assert 'repro_sim_victim_avg_cycles_bucket{le="+Inf"} 2' in text
+        assert "repro_sim_victim_avg_cycles_sum 55" in text
+        assert "repro_sim_victim_avg_cycles_count 2" in text
+
+    def test_integer_values_render_without_decimal(self):
+        tele = Telemetry()
+        tele.counter("a.b").inc(3.0)
+        assert "repro_a_b 3\n" in prometheus_text(tele)
+
+    def test_empty_registry_is_empty_text(self):
+        assert prometheus_text(Telemetry()) == ""
+
+
+class TestWriters:
+    def test_prom_suffix_writes_text(self, tmp_path):
+        tele = Telemetry()
+        tele.counter("a.b").inc()
+        path = write_metrics(tele, tmp_path / "out.prom")
+        assert path.read_text().startswith("# TYPE repro_a_b counter")
+
+    def test_other_suffix_writes_json_snapshot(self, tmp_path):
+        tele = Telemetry()
+        tele.counter("a.b").inc()
+        path = write_metrics(tele, tmp_path / "out.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.obs/v1"
+        assert doc == json.loads(telemetry_json(tele))

@@ -1,0 +1,92 @@
+"""The span recorder: ring semantics and the two export formats."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACE, SpanEvent, TraceRecorder
+
+
+class TestRing:
+    def test_records_in_order(self):
+        trace = TraceRecorder(capacity=8)
+        for i in range(3):
+            trace.record("a.b", float(i), shard=i)
+        assert [e.ts for e in trace.events()] == [0.0, 1.0, 2.0]
+        assert trace.total == 3
+        assert trace.dropped == 0
+
+    def test_wrap_overwrites_oldest(self):
+        trace = TraceRecorder(capacity=3)
+        for i in range(5):
+            trace.record("a.b", float(i))
+        assert len(trace) == 3
+        assert [e.ts for e in trace.events()] == [2.0, 3.0, 4.0]
+        assert trace.total == 5
+        assert trace.dropped == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_args_become_structured_payload(self):
+        trace = TraceRecorder()
+        trace.record("ovs.revalidator.sweep", 1.5, node="n0", shard=2,
+                     evicted=7)
+        event = trace.events()[0]
+        assert event == SpanEvent(name="ovs.revalidator.sweep", ts=1.5,
+                                  node="n0", shard=2,
+                                  args={"evicted": 7})
+
+
+class TestJsonl:
+    def test_one_sorted_object_per_line(self):
+        trace = TraceRecorder()
+        trace.record("a.b", 1.0, node="n0", x=1)
+        trace.record("a.c", 2.0)
+        lines = trace.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "a.b"
+        assert first["args"] == {"x": 1}
+        # keys sorted, compact separators: byte-determinism by construction
+        assert lines[0] == json.dumps(json.loads(lines[0]), sort_keys=True,
+                                      separators=(",", ":"))
+
+    def test_empty_trace_exports_empty(self):
+        assert TraceRecorder().to_jsonl() == ""
+
+
+class TestChromeTrace:
+    def test_nodes_map_to_pids_shards_to_tids(self):
+        trace = TraceRecorder()
+        trace.record("ovs.sweep", 1.0, node="n0", shard=0)
+        trace.record("ovs.sweep", 1.0, node="n0", shard=1)
+        trace.record("fleet.quarantine", 2.0, node="n1")
+        doc = trace.to_chrome_trace()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        processes = {e["args"]["name"]: e["pid"] for e in meta
+                     if e["name"] == "process_name"}
+        assert processes == {"n0": 1, "n1": 2}
+        assert [s["tid"] for s in spans] == [1, 2, 0]  # shard+1; -1 -> 0
+        assert spans[0]["ts"] == 1.0 * 1e6  # microseconds
+        assert spans[0]["cat"] == "ovs"
+
+    def test_bookkeeping_in_other_data(self):
+        trace = TraceRecorder(capacity=1)
+        trace.record("a.b", 1.0)
+        trace.record("a.b", 2.0)
+        other = trace.to_chrome_trace()["otherData"]
+        assert other == {"clock": "simulated-seconds", "recorded": 2,
+                         "dropped": 1}
+
+
+class TestNullTrace:
+    def test_inert(self):
+        NULL_TRACE.record("a.b", 1.0, x=1)
+        assert len(NULL_TRACE) == 0
+        assert NULL_TRACE.to_jsonl() == ""
+        assert NULL_TRACE.to_chrome_trace()["traceEvents"] == []
+        assert NULL_TRACE.summary() == {"events": 0, "recorded": 0,
+                                        "dropped": 0}
